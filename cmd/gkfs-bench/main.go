@@ -1,0 +1,142 @@
+// Command gkfs-bench runs the mdtest- and IOR-style workloads against a
+// *real* GekkoFS deployment — either an in-process cluster it spins up
+// itself (default; the functional plane measured at laptop scale) or an
+// existing TCP deployment.
+//
+//	gkfs-bench -mode mdtest -nodes 4 -workers 16 -files 2000
+//	gkfs-bench -mode ior -nodes 4 -workers 8 -block 64MiB -transfer 1MiB
+//	gkfs-bench -mode ior -daemons host1:7777,host2:7777 -workers 16 ...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/rpc"
+	"repro/internal/transport"
+	"repro/internal/workload"
+)
+
+func parseSize(s string) (int64, error) {
+	mult := int64(1)
+	u := strings.ToLower(strings.TrimSpace(s))
+	switch {
+	case strings.HasSuffix(u, "gib"), strings.HasSuffix(u, "g"):
+		mult = 1 << 30
+	case strings.HasSuffix(u, "mib"), strings.HasSuffix(u, "m"):
+		mult = 1 << 20
+	case strings.HasSuffix(u, "kib"), strings.HasSuffix(u, "k"):
+		mult = 1 << 10
+	}
+	digits := strings.TrimRight(u, "gibmk")
+	v, err := strconv.ParseInt(strings.TrimSpace(digits), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad size %q", s)
+	}
+	return v * mult, nil
+}
+
+func main() {
+	mode := flag.String("mode", "mdtest", "workload: mdtest | ior")
+	daemons := flag.String("daemons", "", "existing TCP deployment (comma-separated); empty = in-process cluster")
+	nodes := flag.Int("nodes", 4, "in-process cluster node count")
+	chunkFlag := flag.String("chunk", "512KiB", "chunk size")
+	workers := flag.Int("workers", 8, "benchmark processes")
+	files := flag.Int("files", 1000, "mdtest: files per worker")
+	blockFlag := flag.String("block", "16MiB", "ior: bytes per worker")
+	transferFlag := flag.String("transfer", "1MiB", "ior: transfer size")
+	random := flag.Bool("random", false, "ior: random transfer order")
+	shared := flag.Bool("shared", false, "ior: one shared file (N-to-1)")
+	sizeCache := flag.Int("size-cache", 0, "client size-update cache (ops per flush; 0 = off)")
+	verify := flag.Bool("verify", true, "ior: verify the read phase")
+	flag.Parse()
+
+	chunk, err := parseSize(*chunkFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var factory workload.ClientFactory
+	if *daemons == "" {
+		cluster, err := core.NewCluster(core.Config{
+			Nodes: *nodes, ChunkSize: chunk, SizeCacheOps: *sizeCache,
+		})
+		if err != nil {
+			log.Fatalf("gkfs-bench: %v", err)
+		}
+		defer cluster.Close()
+		fmt.Printf("in-process cluster: %d nodes, chunk %s, deployed in %v\n",
+			*nodes, *chunkFlag, cluster.DeployTime().Round(time.Microsecond))
+		factory = func() (*client.Client, error) { return cluster.NewClient() }
+	} else {
+		addrs := strings.Split(*daemons, ",")
+		factory = func() (*client.Client, error) {
+			conns := make([]rpc.Conn, len(addrs))
+			for i, a := range addrs {
+				conn, err := transport.DialTCP(strings.TrimSpace(a), 60*time.Second)
+				if err != nil {
+					return nil, err
+				}
+				conns[i] = conn
+			}
+			c, err := client.New(client.Config{Conns: conns, ChunkSize: chunk, SizeCacheOps: *sizeCache})
+			if err != nil {
+				return nil, err
+			}
+			return c, c.EnsureRoot()
+		}
+	}
+
+	switch *mode {
+	case "mdtest":
+		res, err := workload.RunMDTest(factory, workload.MDTestConfig{
+			Dir: "/gkfs-bench-md", Workers: *workers, FilesPerWorker: *files,
+		})
+		if err != nil {
+			log.Fatalf("gkfs-bench: %v", err)
+		}
+		fmt.Printf("mdtest: %d workers x %d files (single directory)\n", *workers, *files)
+		fmt.Printf("  create: %10.0f ops/s\n", res.CreatesPerSec)
+		fmt.Printf("  stat:   %10.0f ops/s\n", res.StatsPerSec)
+		fmt.Printf("  remove: %10.0f ops/s\n", res.RemovesPerSec)
+	case "ior":
+		block, err := parseSize(*blockFlag)
+		if err != nil {
+			log.Fatal(err)
+		}
+		transfer, err := parseSize(*transferFlag)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := workload.RunIOR(factory, workload.IORConfig{
+			Dir: "/gkfs-bench-ior", Workers: *workers, BlockBytes: block,
+			TransferSize: transfer, Random: *random, Shared: *shared,
+			Verify: *verify, Seed: 42,
+		})
+		if err != nil {
+			log.Fatalf("gkfs-bench: %v", err)
+		}
+		layout := "file-per-process"
+		if *shared {
+			layout = "shared file"
+		}
+		order := "sequential"
+		if *random {
+			order = "random"
+		}
+		fmt.Printf("ior: %d workers x %s, %s transfers, %s, %s\n",
+			*workers, *blockFlag, *transferFlag, order, layout)
+		fmt.Printf("  write: %10.1f MiB/s\n", res.WriteMiBps)
+		fmt.Printf("  read:  %10.1f MiB/s\n", res.ReadMiBps)
+	default:
+		fmt.Fprintf(os.Stderr, "gkfs-bench: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+}

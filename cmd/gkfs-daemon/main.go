@@ -1,0 +1,72 @@
+// Command gkfs-daemon runs one GekkoFS daemon serving the client↔daemon
+// protocol over TCP — the per-node server process of a real deployment.
+// Point it at the node-local scratch directory (the paper's SSD mount):
+//
+//	gkfs-daemon -listen :7777 -data /local/ssd/gkfs -id 0
+//
+// Clients (cmd/gkfs-shell, cmd/gkfs-bench) take the full daemon host
+// list and resolve responsibilities by hashing, so every daemon must be
+// started with a distinct -id matching its position in that list.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/daemon"
+	"repro/internal/meta"
+	"repro/internal/transport"
+	"repro/internal/vfs"
+)
+
+func main() {
+	listen := flag.String("listen", ":7777", "TCP listen address")
+	data := flag.String("data", "", "node-local data directory (required)")
+	id := flag.Int("id", 0, "daemon index within the cluster host list")
+	chunk := flag.Int64("chunk", meta.DefaultChunkSize, "chunk size in bytes (cluster-wide)")
+	pool := flag.Int("pool", 16, "concurrent RPC handlers")
+	syncWAL := flag.Bool("sync-wal", false, "fsync metadata WAL per operation")
+	flag.Parse()
+
+	if *data == "" {
+		fmt.Fprintln(os.Stderr, "gkfs-daemon: -data is required")
+		os.Exit(2)
+	}
+	fs, err := vfs.NewOS(*data)
+	if err != nil {
+		log.Fatalf("gkfs-daemon: %v", err)
+	}
+	d, err := daemon.New(daemon.Config{
+		ID: *id, FS: fs, ChunkSize: *chunk, PoolSize: *pool, SyncWAL: *syncWAL,
+	})
+	if err != nil {
+		log.Fatalf("gkfs-daemon: %v", err)
+	}
+	defer d.Close()
+
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("gkfs-daemon: %v", err)
+	}
+	log.Printf("gkfs-daemon %d serving on %s (data %s, chunk %d, startup %v)",
+		*id, l.Addr(), *data, *chunk, d.StartupTime())
+
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+		<-sig
+		log.Printf("gkfs-daemon: shutting down")
+		l.Close()
+	}()
+
+	if err := transport.ServeTCP(l, d.Server()); err != nil {
+		st := d.Stats()
+		log.Printf("gkfs-daemon: stopped (%v); served creates=%d stats=%d removes=%d writeBytes=%d readBytes=%d",
+			err, st.Creates, st.StatOps, st.Removes, st.WriteBytes, st.ReadBytes)
+	}
+}

@@ -1,0 +1,198 @@
+// Command gkfs-shell is a small CLI client for a running GekkoFS
+// deployment (one or more gkfs-daemon processes):
+//
+//	gkfs-shell -daemons host1:7777,host2:7777 mkdir /results
+//	gkfs-shell -daemons host1:7777,host2:7777 put local.dat /results/run1.dat
+//	gkfs-shell -daemons host1:7777,host2:7777 ls /results
+//	gkfs-shell -daemons host1:7777,host2:7777 cat /results/run1.dat
+//	gkfs-shell -daemons host1:7777,host2:7777 stat /results/run1.dat
+//	gkfs-shell -daemons host1:7777,host2:7777 get /results/run1.dat out.dat
+//	gkfs-shell -daemons host1:7777,host2:7777 rm /results/run1.dat
+//
+// The daemon list must be identical (same order) for every client of the
+// deployment: responsibilities are resolved by hashing over it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/meta"
+	"repro/internal/rpc"
+	"repro/internal/transport"
+)
+
+func main() {
+	daemons := flag.String("daemons", "127.0.0.1:7777", "comma-separated daemon addresses (cluster-wide order)")
+	chunk := flag.Int64("chunk", meta.DefaultChunkSize, "chunk size in bytes (must match the daemons)")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-RPC timeout")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+
+	addrs := strings.Split(*daemons, ",")
+	conns := make([]rpc.Conn, len(addrs))
+	for i, a := range addrs {
+		conn, err := transport.DialTCP(strings.TrimSpace(a), *timeout)
+		if err != nil {
+			fatal("dial %s: %v", a, err)
+		}
+		defer conn.Close()
+		conns[i] = conn
+	}
+	c, err := client.New(client.Config{Conns: conns, ChunkSize: *chunk})
+	if err != nil {
+		fatal("%v", err)
+	}
+	if err := c.EnsureRoot(); err != nil {
+		fatal("ensure root: %v", err)
+	}
+
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "ls":
+		need(rest, 1)
+		ents, err := c.ReadDir(rest[0])
+		if err != nil {
+			fatal("ls: %v", err)
+		}
+		for _, e := range ents {
+			kind := "-"
+			if e.IsDir {
+				kind = "d"
+			}
+			fmt.Printf("%s %12d  %s\n", kind, e.Size, e.Name)
+		}
+	case "mkdir":
+		need(rest, 1)
+		if err := c.Mkdir(rest[0]); err != nil {
+			fatal("mkdir: %v", err)
+		}
+	case "stat":
+		need(rest, 1)
+		info, err := c.Stat(rest[0])
+		if err != nil {
+			fatal("stat: %v", err)
+		}
+		fmt.Printf("name: %s\nsize: %d\ndir:  %v\nmtime: %s\nctime: %s\n",
+			info.Name(), info.Size(), info.IsDir(),
+			info.ModTime().Format(time.RFC3339Nano), info.CreateTime().Format(time.RFC3339Nano))
+	case "rm":
+		need(rest, 1)
+		if err := c.Remove(rest[0]); err != nil {
+			fatal("rm: %v", err)
+		}
+	case "truncate":
+		need(rest, 2)
+		var size int64
+		if _, err := fmt.Sscanf(rest[1], "%d", &size); err != nil {
+			fatal("truncate: bad size %q", rest[1])
+		}
+		if err := c.Truncate(rest[0], size); err != nil {
+			fatal("truncate: %v", err)
+		}
+	case "put":
+		need(rest, 2)
+		src, err := os.Open(rest[0])
+		if err != nil {
+			fatal("put: %v", err)
+		}
+		defer src.Close()
+		fd, err := c.Open(rest[1], client.O_WRONLY|client.O_CREATE|client.O_TRUNC)
+		if err != nil {
+			fatal("put: %v", err)
+		}
+		buf := make([]byte, 4<<20)
+		var off int64
+		for {
+			n, rerr := src.Read(buf)
+			if n > 0 {
+				if _, werr := c.WriteAt(fd, buf[:n], off); werr != nil {
+					fatal("put: %v", werr)
+				}
+				off += int64(n)
+			}
+			if rerr == io.EOF {
+				break
+			}
+			if rerr != nil {
+				fatal("put: %v", rerr)
+			}
+		}
+		if err := c.Close(fd); err != nil {
+			fatal("put: %v", err)
+		}
+		fmt.Printf("wrote %d bytes to %s\n", off, rest[1])
+	case "get", "cat":
+		need(rest, 1)
+		var dst io.Writer = os.Stdout
+		if cmd == "get" {
+			need(rest, 2)
+			f, err := os.Create(rest[1])
+			if err != nil {
+				fatal("get: %v", err)
+			}
+			defer f.Close()
+			dst = f
+		}
+		info, err := c.Stat(rest[0])
+		if err != nil {
+			fatal("%s: %v", cmd, err)
+		}
+		fd, err := c.Open(rest[0], client.O_RDONLY)
+		if err != nil {
+			fatal("%s: %v", cmd, err)
+		}
+		buf := make([]byte, 4<<20)
+		for off := int64(0); off < info.Size(); {
+			n, rerr := c.ReadAt(fd, buf, off)
+			if n > 0 {
+				if _, werr := dst.Write(buf[:n]); werr != nil {
+					fatal("%s: %v", cmd, werr)
+				}
+				off += int64(n)
+			}
+			if rerr == io.EOF {
+				break
+			}
+			if rerr != nil {
+				fatal("%s: %v", cmd, rerr)
+			}
+		}
+		c.Close(fd)
+	default:
+		usage()
+	}
+}
+
+func need(args []string, n int) {
+	if len(args) < n {
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: gkfs-shell -daemons <addr,...> <command>
+commands:
+  ls <dir>             list a directory
+  mkdir <dir>          create a directory
+  stat <path>          show file information
+  rm <path>            remove a file or empty directory
+  truncate <path> <n>  set a file's size
+  put <local> <remote> copy a local file in
+  get <remote> <local> copy a file out
+  cat <remote>         print a file`)
+	os.Exit(2)
+}
+
+func fatal(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "gkfs-shell: "+format+"\n", args...)
+	os.Exit(1)
+}

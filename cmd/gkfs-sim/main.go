@@ -1,0 +1,89 @@
+// Command gkfs-sim regenerates the paper's evaluation: every figure
+// panel (Fig. 2a–c, Fig. 3a–b), every quantified in-text result
+// (T1 random-vs-sequential, T2 shared-file, T3 latency, T4 startup) and
+// the two ablations (A1 chunk size, A2 distribution pattern), printed as
+// markdown tables.
+//
+// Usage:
+//
+//	gkfs-sim -fig all            # everything, full 1–512 node axis
+//	gkfs-sim -fig 2a -quick      # one panel, nodes up to 64
+//	gkfs-sim -fig shared -nodes 128
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/simcluster"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "experiment: 2a|2b|2c|3a|3b|rand|shared|latency|startup|chunks|dist|all")
+	quick := flag.Bool("quick", false, "stop the node axis at 64 (faster)")
+	nodes := flag.Int("nodes", 0, "node count for single-scale experiments (default 512, or 64 with -quick)")
+	flag.Parse()
+
+	axis := experiments.NodeSet(*quick)
+	scale := 512
+	if *quick {
+		scale = 64
+	}
+	if *nodes > 0 {
+		scale = *nodes
+	}
+
+	out := os.Stdout
+	emit := func(t experiments.Table) { t.Fprint(out) }
+
+	run := func(which string) bool {
+		switch which {
+		case "2a":
+			emit(experiments.Fig2(simcluster.MDOpCreate, axis))
+		case "2b":
+			emit(experiments.Fig2(simcluster.MDOpStat, axis))
+		case "2c":
+			emit(experiments.Fig2(simcluster.MDOpRemove, axis))
+		case "3a":
+			emit(experiments.Fig3(true, axis))
+		case "3b":
+			emit(experiments.Fig3(false, axis))
+		case "rand":
+			emit(experiments.TextRandVsSeq(scale))
+		case "shared":
+			emit(experiments.TextSharedFile(scale))
+		case "latency":
+			emit(experiments.TextLatency(scale))
+		case "startup":
+			emit(experiments.TextStartup(axis, true))
+		case "chunks":
+			emit(experiments.AblationChunkSize(min(scale, 64)))
+		case "dist":
+			emit(experiments.AblationDistributor(min(scale, 64)))
+		default:
+			return false
+		}
+		return true
+	}
+
+	if *fig == "all" {
+		for _, w := range []string{"2a", "2b", "2c", "3a", "3b", "rand", "shared", "latency", "startup", "chunks", "dist"} {
+			run(w)
+		}
+		return
+	}
+	if !run(*fig) {
+		fmt.Fprintf(os.Stderr, "gkfs-sim: unknown experiment %q\n", *fig)
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

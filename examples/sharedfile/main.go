@@ -1,0 +1,100 @@
+// Sharedfile: the N-to-1 pattern of paper §IV-B. All workers write
+// strided blocks of ONE file. Every write must update the file's size on
+// the single daemon owning its metadata, which throttles the whole
+// cluster; the client-side size-update cache (the paper's fix) buffers
+// those updates and restores throughput. This example measures both
+// configurations and prints the paper's observation.
+//
+// Usage: go run ./examples/sharedfile [-nodes 4] [-workers 8] [-blocks 400]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"repro/gekkofs"
+)
+
+func run(workers, blocks int, transfer int64, opts ...gekkofs.Option) (opsPerSec float64, finalSize int64) {
+	cluster, err := gekkofs.New(opts...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+
+	setup, err := cluster.Mount()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := setup.WriteFile("/shared.dat", nil); err != nil {
+		log.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	begin := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			fs, err := cluster.Mount()
+			if err != nil {
+				log.Fatal(err)
+			}
+			f, err := fs.OpenFile("/shared.dat", gekkofs.O_WRONLY)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			buf := make([]byte, transfer)
+			for i := range buf {
+				buf[i] = byte(w + 1)
+			}
+			for b := 0; b < blocks; b++ {
+				// Strided: block b of worker w at (b*workers + w).
+				off := (int64(b)*int64(workers) + int64(w)) * transfer
+				if _, err := f.WriteAt(buf, off); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(begin)
+
+	info, err := setup.Stat("/shared.dat")
+	if err != nil {
+		log.Fatal(err)
+	}
+	total := float64(workers * blocks)
+	return total / elapsed.Seconds(), info.Size()
+}
+
+func main() {
+	nodes := flag.Int("nodes", 4, "daemon count")
+	workers := flag.Int("workers", 8, "writer processes")
+	blocks := flag.Int("blocks", 400, "blocks per worker")
+	flag.Parse()
+	const transfer = int64(16 << 10)
+
+	want := int64(*workers) * int64(*blocks) * transfer
+
+	plain, size := run(*workers, *blocks, transfer,
+		gekkofs.WithNodes(*nodes))
+	if size != want {
+		log.Fatalf("size without cache = %d, want %d", size, want)
+	}
+	fmt.Printf("shared file, no cache:          %8.0f write ops/s (size updates all hit one daemon)\n", plain)
+
+	cached, size := run(*workers, *blocks, transfer,
+		gekkofs.WithNodes(*nodes), gekkofs.WithSizeUpdateCache(32))
+	if size != want {
+		log.Fatalf("size with cache = %d, want %d (flush on close must land)", size, want)
+	}
+	fmt.Printf("shared file, size cache (32):   %8.0f write ops/s\n", cached)
+	fmt.Printf("speedup from the paper's client size cache: %.1fx\n", cached/plain)
+	fmt.Println("\npaper §IV-B: without caching the shared-file size updates cap the cluster at")
+	fmt.Println("~150K write ops/s; buffering them client-side restores file-per-process rates.")
+}

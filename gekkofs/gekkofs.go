@@ -1,0 +1,149 @@
+// Package gekkofs is the public API of this GekkoFS reproduction: a
+// temporary, highly-scalable distributed file system for HPC applications
+// (Vef et al., IEEE CLUSTER 2018). It pools node-local storage into a
+// single global namespace with relaxed POSIX semantics — strong
+// consistency for operations naming a specific file, eventual consistency
+// for directory listings, no rename/link/permissions — and distributes
+// all data and metadata by hashing, with file data split into 512 KiB
+// chunks spread over every node.
+//
+// A Cluster stands up the daemons (in-process goroutines here; the
+// paper's deployment runs one process per compute node — see cmd/gkfs-daemon
+// for the TCP equivalent). Mount returns an FS, the analogue of
+// preloading the interposition library: a client holding its own file
+// map, hashing every path to its owning daemon, and issuing synchronous
+// RPCs.
+//
+//	cluster, err := gekkofs.New(gekkofs.WithNodes(4))
+//	...
+//	fs, err := cluster.Mount()
+//	f, err := fs.Create("/results/out.dat")
+//	f.Write(data)
+//	f.Close()
+package gekkofs
+
+import (
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/daemon"
+	"repro/internal/proto"
+)
+
+// Errors mirroring the relaxed-POSIX surface. Compare with errors.Is.
+var (
+	// ErrNotExist reports a missing path.
+	ErrNotExist = proto.ErrNotExist
+	// ErrExist reports a create of an existing path.
+	ErrExist = proto.ErrExist
+	// ErrIsDir reports a file operation on a directory.
+	ErrIsDir = proto.ErrIsDir
+	// ErrNotDir reports a directory operation on a file.
+	ErrNotDir = proto.ErrNotDir
+	// ErrNotEmpty reports removal of a non-empty directory.
+	ErrNotEmpty = proto.ErrNotEmpty
+	// ErrInval reports an invalid argument.
+	ErrInval = proto.ErrInval
+	// ErrNotSupported reports POSIX features GekkoFS deliberately lacks:
+	// rename/move, links, permission management (paper §III-A).
+	ErrNotSupported = proto.ErrNotSupported
+	// ErrBadFD reports a closed or unknown descriptor.
+	ErrBadFD = client.ErrBadFD
+)
+
+// Open flags, re-exported for OpenFile.
+const (
+	O_RDONLY = client.O_RDONLY
+	O_WRONLY = client.O_WRONLY
+	O_RDWR   = client.O_RDWR
+	O_CREATE = client.O_CREATE
+	O_EXCL   = client.O_EXCL
+	O_TRUNC  = client.O_TRUNC
+	O_APPEND = client.O_APPEND
+)
+
+// FileInfo describes a file or directory (see FS.Stat).
+type FileInfo = client.FileInfo
+
+// DirEntry is one directory-listing element (see FS.ReadDir).
+type DirEntry = client.DirEntry
+
+// DaemonStats exposes per-daemon operation counters.
+type DaemonStats = daemon.Stats
+
+// Option configures a Cluster.
+type Option func(*core.Config)
+
+// WithNodes sets the daemon count (default 1).
+func WithNodes(n int) Option { return func(c *core.Config) { c.Nodes = n } }
+
+// WithChunkSize overrides the 512 KiB default chunk size.
+func WithChunkSize(bytes int64) Option { return func(c *core.Config) { c.ChunkSize = bytes } }
+
+// WithHandlerPool bounds each daemon's concurrently executing RPC
+// handlers (default 16).
+func WithHandlerPool(n int) Option { return func(c *core.Config) { c.PoolSize = n } }
+
+// WithDataDir persists daemon state under dir on the host file system
+// (one subdirectory per daemon) instead of in memory.
+func WithDataDir(dir string) Option { return func(c *core.Config) { c.DataDir = dir } }
+
+// WithSyncWAL makes metadata operations durable before they are
+// acknowledged.
+func WithSyncWAL() Option { return func(c *core.Config) { c.SyncWAL = true } }
+
+// WithSizeUpdateCache enables the client-side size-update cache the paper
+// introduces for shared-file workloads (§IV-B): size updates are buffered
+// and flushed every ops writes (and on close/sync). Trade-off: another
+// client's stat may briefly observe a smaller size.
+func WithSizeUpdateCache(ops int) Option { return func(c *core.Config) { c.SizeCacheOps = ops } }
+
+// WithDistributor selects the placement pattern: "simplehash" (paper
+// default) or "guided-first-chunk" (ablation A2 in DESIGN.md).
+func WithDistributor(name string) Option { return func(c *core.Config) { c.Distributor = name } }
+
+// Cluster is a running GekkoFS deployment.
+type Cluster struct {
+	c *core.Cluster
+}
+
+// New deploys a cluster and waits until every daemon is serving.
+func New(opts ...Option) (*Cluster, error) {
+	var cfg core.Config
+	cfg.Nodes = 1
+	for _, o := range opts {
+		o(&cfg)
+	}
+	c, err := core.NewCluster(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Cluster{c: c}, nil
+}
+
+// Mount returns a file system handle wired to every daemon.
+func (cl *Cluster) Mount() (*FS, error) {
+	c, err := cl.c.NewClient()
+	if err != nil {
+		return nil, err
+	}
+	return &FS{c: c}, nil
+}
+
+// Close tears down the deployment. As a temporary file system, in-memory
+// state is discarded (data under WithDataDir survives for reopening).
+func (cl *Cluster) Close() error { return cl.c.Close() }
+
+// Nodes returns the daemon count.
+func (cl *Cluster) Nodes() int { return cl.c.Nodes() }
+
+// ChunkSize returns the cluster chunk size in bytes.
+func (cl *Cluster) ChunkSize() int64 { return cl.c.ChunkSize() }
+
+// DeployTime reports how long bring-up took — the paper's headline
+// deployability metric (< 20 s for 512 daemons).
+func (cl *Cluster) DeployTime() time.Duration { return cl.c.DeployTime() }
+
+// DaemonStats returns per-daemon operation counters, indexed by node.
+func (cl *Cluster) DaemonStats() []DaemonStats { return cl.c.DaemonStats() }

@@ -1,0 +1,228 @@
+package gekkofs_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+
+	"repro/gekkofs"
+)
+
+// Cross-mount behaviours: GekkoFS promises strong consistency for
+// operations naming a specific file regardless of which client issues
+// them, and eventual consistency only for directory listings.
+
+func TestCrossMountVisibility(t *testing.T) {
+	cl, fs1 := newCluster(t)
+	fs2, err := cl.Mount()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A file created through one mount is immediately visible to stat,
+	// open and read through another (synchronous, cache-less protocol).
+	if err := fs1.WriteFile("/x", []byte("from-mount-1")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs2.ReadFile("/x")
+	if err != nil || string(got) != "from-mount-1" {
+		t.Fatalf("mount2 read = %q, %v", got, err)
+	}
+	// A remove through mount 2 is immediately final for mount 1.
+	if err := fs2.Remove("/x"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs1.Stat("/x"); !errors.Is(err, gekkofs.ErrNotExist) {
+		t.Fatalf("mount1 still sees removed file: %v", err)
+	}
+}
+
+func TestCrossMountWriteReadInterleaving(t *testing.T) {
+	cl, fs1 := newCluster(t)
+	fs2, err := cl.Mount()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1, err := fs1.Create("/ping")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f1.Close()
+	f2, err := fs2.OpenFile("/ping", gekkofs.O_RDWR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f2.Close()
+
+	// Ping-pong: each side reads what the other last acknowledged.
+	for round := 0; round < 10; round++ {
+		msg := []byte(fmt.Sprintf("round-%d", round))
+		if _, err := f1.WriteAt(msg, 0); err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, len(msg))
+		if _, err := f2.ReadAt(buf, 0); err != nil && err != io.EOF {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf, msg) {
+			t.Fatalf("round %d: read %q, want %q", round, buf, msg)
+		}
+	}
+}
+
+func TestManyMounts(t *testing.T) {
+	cl, _ := newCluster(t)
+	const mounts = 32
+	var wg sync.WaitGroup
+	for m := 0; m < mounts; m++ {
+		wg.Add(1)
+		go func(m int) {
+			defer wg.Done()
+			fs, err := cl.Mount()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			path := fmt.Sprintf("/m%d", m)
+			if err := fs.WriteFile(path, []byte{byte(m)}); err != nil {
+				t.Error(err)
+				return
+			}
+			got, err := fs.ReadFile(path)
+			if err != nil || len(got) != 1 || got[0] != byte(m) {
+				t.Errorf("mount %d round trip: %v, %v", m, got, err)
+			}
+		}(m)
+	}
+	wg.Wait()
+	fs, err := cl.Mount()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ents, err := fs.ReadDir("/")
+	if err != nil || len(ents) != mounts {
+		t.Fatalf("root has %d entries, want %d (%v)", len(ents), mounts, err)
+	}
+}
+
+func TestMixedMetadataAndDataLoad(t *testing.T) {
+	// mdtest-style churn and IOR-style streaming at the same time — the
+	// interference scenario burst buffers exist to absorb.
+	cl, fs := newCluster(t)
+	if err := fs.Mkdir("/churn"); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() { // metadata churner
+		defer wg.Done()
+		m, err := cl.Mount()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			p := fmt.Sprintf("/churn/f%d", i%50)
+			f, err := m.OpenFile(p, gekkofs.O_WRONLY|gekkofs.O_CREATE)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			f.Close()
+			if i%3 == 0 {
+				if err := m.Remove(p); err != nil && !errors.Is(err, gekkofs.ErrNotExist) {
+					t.Error(err)
+					return
+				}
+			}
+		}
+	}()
+
+	// Streaming writer+reader in the foreground.
+	m2, err := cl.Mount()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 256*1024)
+	for i := range data {
+		data[i] = byte(i * 31)
+	}
+	for round := 0; round < 5; round++ {
+		if err := m2.WriteFile("/stream.dat", data); err != nil {
+			t.Fatal(err)
+		}
+		got, err := m2.ReadFile("/stream.dat")
+		if err != nil || !bytes.Equal(got, data) {
+			t.Fatalf("round %d stream corrupted (%d bytes, %v)", round, len(got), err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestDeepDirectoryTree(t *testing.T) {
+	_, fs := newCluster(t)
+	path := ""
+	for d := 0; d < 24; d++ {
+		path = fmt.Sprintf("%s/d%d", path, d)
+	}
+	if err := fs.MkdirAll(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile(path+"/leaf", []byte("deep")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadFile(path + "/leaf")
+	if err != nil || string(got) != "deep" {
+		t.Fatalf("deep leaf = %q, %v", got, err)
+	}
+	// Each level lists exactly its single child.
+	cur := ""
+	for d := 0; d < 24; d++ {
+		parent := cur
+		if parent == "" {
+			parent = "/"
+		}
+		ents, err := fs.ReadDir(parent)
+		if err != nil || len(ents) != 1 {
+			t.Fatalf("level %d: %v, %v", d, ents, err)
+		}
+		cur = fmt.Sprintf("%s/d%d", cur, d)
+	}
+}
+
+func TestWriteFileOverwrites(t *testing.T) {
+	_, fs := newCluster(t)
+	if err := fs.WriteFile("/w", bytes.Repeat([]byte{1}, 100000)); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/w", []byte("tiny")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadFile("/w")
+	if err != nil || string(got) != "tiny" {
+		t.Fatalf("overwrite left %d bytes, %v", len(got), err)
+	}
+}
+
+func TestStatDirectoriesReportZeroSize(t *testing.T) {
+	_, fs := newCluster(t)
+	if err := fs.Mkdir("/d"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/d/f", []byte("xyz")); err != nil {
+		t.Fatal(err)
+	}
+	info, err := fs.Stat("/d")
+	if err != nil || !info.IsDir() || info.Size() != 0 {
+		t.Fatalf("dir stat = %+v, %v", info, err)
+	}
+}

@@ -1,0 +1,524 @@
+// Package client implements the GekkoFS client library (paper §III-B,
+// Fig. 1). The paper's client is an LD_PRELOAD interposition library; the
+// Go-native equivalent exposes the same operations as methods. Everything
+// behind the call boundary is faithful to the paper:
+//
+//   - a file map tracks open files independently of the kernel,
+//   - every operation resolves its target daemon locally by hashing
+//     (no central placement tables),
+//   - reads and writes are split into chunk spans and issued as parallel
+//     RPCs to the owning daemons, with data in bulk regions,
+//   - operations are synchronous and cache-less; the single exception is
+//     the opt-in size-update cache the paper adds to fix the shared-file
+//     bottleneck (§IV-B),
+//   - rename, links and permissions are unsupported (§III-A).
+package client
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/distributor"
+	"repro/internal/meta"
+	"repro/internal/proto"
+	"repro/internal/rpc"
+)
+
+// Re-exported flag bits (values match package os).
+const (
+	O_RDONLY = os.O_RDONLY
+	O_WRONLY = os.O_WRONLY
+	O_RDWR   = os.O_RDWR
+	O_CREATE = os.O_CREATE
+	O_EXCL   = os.O_EXCL
+	O_TRUNC  = os.O_TRUNC
+	O_APPEND = os.O_APPEND
+)
+
+// ErrBadFD reports an operation on an unknown or closed file descriptor.
+var ErrBadFD = errors.New("gekkofs: bad file descriptor")
+
+// Config wires a client to a cluster.
+type Config struct {
+	// Conns are connections to every daemon, indexed like the
+	// distributor's node space.
+	Conns []rpc.Conn
+	// Dist resolves paths and chunks to daemons. Nil selects the paper's
+	// SimpleHash over len(Conns).
+	Dist distributor.Distributor
+	// ChunkSize must match the daemons'. Zero selects the default
+	// (512 KiB).
+	ChunkSize int64
+	// SizeCacheOps > 0 buffers file-size updates client-side and flushes
+	// them every SizeCacheOps writes (and on close/sync) — the paper's
+	// shared-file fix. Zero keeps the strict synchronous protocol.
+	SizeCacheOps int
+}
+
+// Client is one application's view of the file system.
+type Client struct {
+	conns        []rpc.Conn
+	dist         distributor.Distributor
+	chunkSize    int64
+	sizeCacheOps int
+
+	mu     sync.Mutex
+	files  map[int]*openFile
+	nextFD int
+}
+
+// openFile is a file-map slot.
+type openFile struct {
+	mu    sync.Mutex
+	path  string
+	flags int
+	pos   int64
+
+	// Size-update cache state (active when Client.sizeCacheOps > 0).
+	pendingSize int64 // max unflushed size candidate; 0 = none
+	pendingOps  int
+}
+
+// New builds a client.
+func New(cfg Config) (*Client, error) {
+	if len(cfg.Conns) == 0 {
+		return nil, errors.New("client: no daemon connections")
+	}
+	if cfg.Dist == nil {
+		cfg.Dist = distributor.NewSimpleHash(len(cfg.Conns))
+	}
+	if cfg.Dist.Nodes() != len(cfg.Conns) {
+		return nil, fmt.Errorf("client: distributor spans %d nodes, have %d conns",
+			cfg.Dist.Nodes(), len(cfg.Conns))
+	}
+	if cfg.ChunkSize == 0 {
+		cfg.ChunkSize = meta.DefaultChunkSize
+	}
+	if cfg.ChunkSize < 0 {
+		return nil, fmt.Errorf("client: invalid chunk size %d", cfg.ChunkSize)
+	}
+	return &Client{
+		conns:        cfg.Conns,
+		dist:         cfg.Dist,
+		chunkSize:    cfg.ChunkSize,
+		sizeCacheOps: cfg.SizeCacheOps,
+		files:        make(map[int]*openFile),
+		nextFD:       3,
+	}, nil
+}
+
+// ChunkSize returns the configured chunk size.
+func (c *Client) ChunkSize() int64 { return c.chunkSize }
+
+// call issues one RPC and peels the errno header off the response.
+func (c *Client) call(node int, op rpc.Op, payload, bulk []byte, dir rpc.BulkDir) (*rpc.Dec, error) {
+	resp, err := c.conns[node].Call(op, payload, bulk, dir)
+	if err != nil {
+		return nil, err
+	}
+	d := rpc.NewDec(resp)
+	if errno := proto.Errno(d.U16()); errno != proto.OK {
+		return nil, errno.Err()
+	}
+	return d, nil
+}
+
+// fanOut runs fn for every daemon in parallel and returns the first error.
+func (c *Client) fanOut(fn func(node int) error) error {
+	var wg sync.WaitGroup
+	errs := make([]error, len(c.conns))
+	for n := range c.conns {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			errs[n] = fn(n)
+		}(n)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// EnsureRoot creates the root directory record if missing. Mount calls it
+// once; it is idempotent across clients.
+func (c *Client) EnsureRoot() error {
+	err := c.createPath(meta.Root, meta.ModeDir)
+	if errors.Is(err, proto.ErrExist) {
+		return nil
+	}
+	return err
+}
+
+func (c *Client) createPath(path string, mode meta.Mode) error {
+	e := rpc.NewEnc(len(path) + 16)
+	e.Str(path).U8(uint8(mode)).I64(time.Now().UnixNano())
+	_, err := c.call(c.dist.MetaTarget(path), proto.OpCreate, e.Bytes(), nil, rpc.BulkNone)
+	return err
+}
+
+// statPath fetches a path's metadata.
+func (c *Client) statPath(path string) (meta.Metadata, error) {
+	e := rpc.NewEnc(len(path) + 4)
+	e.Str(path)
+	d, err := c.call(c.dist.MetaTarget(path), proto.OpStat, e.Bytes(), nil, rpc.BulkNone)
+	if err != nil {
+		return meta.Metadata{}, err
+	}
+	blob := d.Blob()
+	if err := d.Done(); err != nil {
+		return meta.Metadata{}, err
+	}
+	return meta.DecodeMetadata(blob)
+}
+
+// Mkdir creates a directory. The parent must exist (one stat RPC); the
+// entry itself is a single KV insert — directories carry no entry lists.
+func (c *Client) Mkdir(path string) error {
+	p, err := meta.Clean(path)
+	if err != nil {
+		return err
+	}
+	if p == meta.Root {
+		return proto.ErrExist
+	}
+	if parent := meta.Parent(p); parent != meta.Root {
+		md, err := c.statPath(parent)
+		if err != nil {
+			return err
+		}
+		if !md.IsDir() {
+			return proto.ErrNotDir
+		}
+	}
+	return c.createPath(p, meta.ModeDir)
+}
+
+// Open opens (and with O_CREATE creates) a file, returning a descriptor
+// from the client-side file map. Directories cannot be opened; GekkoFS
+// applications list them via ReadDir.
+func (c *Client) Open(path string, flags int) (int, error) {
+	p, err := meta.Clean(path)
+	if err != nil {
+		return -1, err
+	}
+	accMode := flags & (O_RDONLY | O_WRONLY | O_RDWR)
+	if flags&O_CREATE != 0 {
+		// The flat namespace makes file creation a single RPC: no parent
+		// lookups, no directory entry insertion (paper §III-B).
+		err := c.createPath(p, meta.ModeRegular)
+		switch {
+		case err == nil:
+		case errors.Is(err, proto.ErrExist):
+			if flags&O_EXCL != 0 {
+				return -1, proto.ErrExist
+			}
+			md, err := c.statPath(p)
+			if err != nil {
+				return -1, err
+			}
+			if md.IsDir() {
+				return -1, proto.ErrIsDir
+			}
+			if flags&O_TRUNC != 0 && md.Size > 0 {
+				if err := c.Truncate(p, 0); err != nil {
+					return -1, err
+				}
+			}
+		default:
+			return -1, err
+		}
+	} else {
+		md, err := c.statPath(p)
+		if err != nil {
+			return -1, err
+		}
+		if md.IsDir() {
+			return -1, proto.ErrIsDir
+		}
+		if flags&O_TRUNC != 0 && accMode != O_RDONLY && md.Size > 0 {
+			if err := c.Truncate(p, 0); err != nil {
+				return -1, err
+			}
+		}
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	fd := c.nextFD
+	c.nextFD++
+	c.files[fd] = &openFile{path: p, flags: flags}
+	return fd, nil
+}
+
+// Create is shorthand for Open(path, O_RDWR|O_CREATE|O_TRUNC).
+func (c *Client) Create(path string) (int, error) {
+	return c.Open(path, O_RDWR|O_CREATE|O_TRUNC)
+}
+
+func (c *Client) lookupFD(fd int) (*openFile, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	of, ok := c.files[fd]
+	if !ok {
+		return nil, ErrBadFD
+	}
+	return of, nil
+}
+
+// Close releases a descriptor, flushing any cached size updates.
+func (c *Client) Close(fd int) error {
+	c.mu.Lock()
+	of, ok := c.files[fd]
+	delete(c.files, fd)
+	c.mu.Unlock()
+	if !ok {
+		return ErrBadFD
+	}
+	of.mu.Lock()
+	defer of.mu.Unlock()
+	return c.flushSizeLocked(of)
+}
+
+// Fsync flushes cached size updates. Data needs no flushing: every write
+// RPC is acknowledged only after the daemon stored it (synchronous,
+// cache-less design).
+func (c *Client) Fsync(fd int) error {
+	of, err := c.lookupFD(fd)
+	if err != nil {
+		return err
+	}
+	of.mu.Lock()
+	defer of.mu.Unlock()
+	return c.flushSizeLocked(of)
+}
+
+// PathOf reports the path behind a descriptor (tooling).
+func (c *Client) PathOf(fd int) (string, error) {
+	of, err := c.lookupFD(fd)
+	if err != nil {
+		return "", err
+	}
+	return of.path, nil
+}
+
+// Seek adjusts a descriptor's position. SEEK_END costs one stat RPC.
+func (c *Client) Seek(fd int, offset int64, whence int) (int64, error) {
+	of, err := c.lookupFD(fd)
+	if err != nil {
+		return 0, err
+	}
+	of.mu.Lock()
+	defer of.mu.Unlock()
+	var base int64
+	switch whence {
+	case io.SeekStart:
+		base = 0
+	case io.SeekCurrent:
+		base = of.pos
+	case io.SeekEnd:
+		md, err := c.statPath(of.path)
+		if err != nil {
+			return 0, err
+		}
+		base = md.Size
+	default:
+		return 0, proto.ErrInval
+	}
+	np := base + offset
+	if np < 0 {
+		return 0, proto.ErrInval
+	}
+	of.pos = np
+	return np, nil
+}
+
+// Stat returns a path's file information.
+func (c *Client) Stat(path string) (FileInfo, error) {
+	p, err := meta.Clean(path)
+	if err != nil {
+		return FileInfo{}, err
+	}
+	md, err := c.statPath(p)
+	if err != nil {
+		return FileInfo{}, err
+	}
+	return infoFromMeta(p, md), nil
+}
+
+// FileInfo describes a file or directory.
+type FileInfo struct {
+	name  string
+	size  int64
+	isDir bool
+	mtime time.Time
+	ctime time.Time
+}
+
+func infoFromMeta(path string, md meta.Metadata) FileInfo {
+	return FileInfo{
+		name:  meta.Base(path),
+		size:  md.Size,
+		isDir: md.IsDir(),
+		mtime: time.Unix(0, md.MTimeNS),
+		ctime: time.Unix(0, md.CTimeNS),
+	}
+}
+
+// Name returns the base name.
+func (fi FileInfo) Name() string { return fi.name }
+
+// Size returns the size in bytes.
+func (fi FileInfo) Size() int64 { return fi.size }
+
+// IsDir reports whether the entry is a directory.
+func (fi FileInfo) IsDir() bool { return fi.isDir }
+
+// ModTime returns the last modification time.
+func (fi FileInfo) ModTime() time.Time { return fi.mtime }
+
+// CreateTime returns the creation time.
+func (fi FileInfo) CreateTime() time.Time { return fi.ctime }
+
+// DirEntry is one directory listing element.
+type DirEntry struct {
+	// Name is the entry's base name.
+	Name string
+	// IsDir reports whether the entry is a directory.
+	IsDir bool
+	// Size is the size observed during the scan (eventually consistent).
+	Size int64
+}
+
+// ReadDir lists a directory by gathering per-daemon scans. The listing is
+// eventually consistent: concurrent creates and removes may or may not
+// appear (paper §III-A); entries that do appear are each reported by
+// exactly one daemon, so there are no duplicates.
+func (c *Client) ReadDir(path string) ([]DirEntry, error) {
+	p, err := meta.Clean(path)
+	if err != nil {
+		return nil, err
+	}
+	if p != meta.Root {
+		md, err := c.statPath(p)
+		if err != nil {
+			return nil, err
+		}
+		if !md.IsDir() {
+			return nil, proto.ErrNotDir
+		}
+	}
+	e := rpc.NewEnc(len(p) + 4)
+	e.Str(p)
+	payload := e.Bytes()
+
+	perNode := make([][]DirEntry, len(c.conns))
+	err = c.fanOut(func(node int) error {
+		d, err := c.call(node, proto.OpReadDir, payload, nil, rpc.BulkNone)
+		if err != nil {
+			return err
+		}
+		n := d.U32()
+		ents := make([]DirEntry, 0, n)
+		for i := uint32(0); i < n; i++ {
+			ents = append(ents, DirEntry{Name: d.Str(), IsDir: d.U8() == 1, Size: d.I64()})
+		}
+		if err := d.Done(); err != nil {
+			return err
+		}
+		perNode[node] = ents
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var all []DirEntry
+	for _, ents := range perNode {
+		all = append(all, ents...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].Name < all[j].Name })
+	return all, nil
+}
+
+// Remove unlinks a file (one metadata RPC; chunk collection only when the
+// file had data) or removes an empty directory.
+func (c *Client) Remove(path string) error {
+	p, err := meta.Clean(path)
+	if err != nil {
+		return err
+	}
+	if p == meta.Root {
+		return proto.ErrInval
+	}
+	md, err := c.statPath(p)
+	if err != nil {
+		return err
+	}
+	if md.IsDir() {
+		ents, err := c.ReadDir(p)
+		if err != nil {
+			return err
+		}
+		if len(ents) > 0 {
+			return proto.ErrNotEmpty
+		}
+	}
+	e := rpc.NewEnc(len(p) + 4)
+	e.Str(p)
+	d, err := c.call(c.dist.MetaTarget(p), proto.OpRemoveMeta, e.Bytes(), nil, rpc.BulkNone)
+	if err != nil {
+		return err
+	}
+	_ = d.U8() // mode
+	size := d.I64()
+	if err := d.Done(); err != nil {
+		return err
+	}
+	if size > 0 {
+		// Chunks are spread over all daemons; collect everywhere.
+		return c.fanOut(func(node int) error {
+			_, err := c.call(node, proto.OpRemoveChunks, e.Bytes(), nil, rpc.BulkNone)
+			return err
+		})
+	}
+	return nil
+}
+
+// Truncate sets a file's size, discarding data beyond it.
+func (c *Client) Truncate(path string, size int64) error {
+	p, err := meta.Clean(path)
+	if err != nil {
+		return err
+	}
+	if size < 0 {
+		return proto.ErrInval
+	}
+	e := rpc.NewEnc(len(p) + 24)
+	e.Str(p).I64(size).U8(1).I64(time.Now().UnixNano())
+	if _, err := c.call(c.dist.MetaTarget(p), proto.OpUpdateSize, e.Bytes(), nil, rpc.BulkNone); err != nil {
+		return err
+	}
+	te := rpc.NewEnc(len(p) + 12)
+	te.Str(p).I64(size)
+	return c.fanOut(func(node int) error {
+		_, err := c.call(node, proto.OpTruncateChunks, te.Bytes(), nil, rpc.BulkNone)
+		return err
+	})
+}
+
+// Rename is not supported: HPC application studies show parallel jobs
+// rarely if ever rename (paper §III-A, citing [17]).
+func (c *Client) Rename(oldpath, newpath string) error { return proto.ErrNotSupported }
+
+// Link is not supported (paper §III-A).
+func (c *Client) Link(oldpath, newpath string) error { return proto.ErrNotSupported }
+
+// Symlink is not supported (paper §III-A).
+func (c *Client) Symlink(oldpath, newpath string) error { return proto.ErrNotSupported }
+
+// Chmod is not supported: GekkoFS delegates security to the node-local
+// file system (paper §III-A).
+func (c *Client) Chmod(path string, mode uint32) error { return proto.ErrNotSupported }

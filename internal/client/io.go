@@ -1,0 +1,288 @@
+package client
+
+import (
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/meta"
+	"repro/internal/proto"
+	"repro/internal/rpc"
+)
+
+// The data path. A write or read is decomposed into chunk spans; spans
+// are grouped by owning daemon (hash of path and chunk ID) and issued as
+// one RPC per daemon, in parallel, with the span data concatenated in the
+// RPC's bulk region. This is the paper's wide striping: a large I/O
+// engages every node's SSD at once.
+
+// targetGroup collects the spans of one I/O bound for one daemon.
+type targetGroup struct {
+	spans  []proto.ChunkSpan
+	bufOff []int64 // caller-buffer offset per span
+	bytes  int64
+}
+
+// groupByTarget splits [off, off+n) into per-daemon span groups.
+func (c *Client) groupByTarget(path string, off, n int64) map[int]*targetGroup {
+	slices := meta.Slices(off, n, c.chunkSize)
+	groups := make(map[int]*targetGroup)
+	for _, s := range slices {
+		tgt := c.dist.ChunkTarget(path, s.ID)
+		g := groups[tgt]
+		if g == nil {
+			g = &targetGroup{}
+			groups[tgt] = g
+		}
+		g.spans = append(g.spans, proto.ChunkSpan{ID: s.ID, Off: s.ChunkOff, Len: s.Len})
+		g.bufOff = append(g.bufOff, s.BufOff)
+		g.bytes += s.Len
+	}
+	return groups
+}
+
+// runGroups executes fn per target group, in parallel when more than one
+// daemon is involved.
+func runGroups(groups map[int]*targetGroup, fn func(node int, g *targetGroup) error) error {
+	if len(groups) == 1 {
+		for node, g := range groups {
+			return fn(node, g)
+		}
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, len(groups))
+	for node, g := range groups {
+		wg.Add(1)
+		go func(node int, g *targetGroup) {
+			defer wg.Done()
+			if err := fn(node, g); err != nil {
+				errCh <- err
+			}
+		}(node, g)
+	}
+	wg.Wait()
+	close(errCh)
+	return <-errCh // nil when the channel is empty
+}
+
+// WriteAt writes p at offset off, without touching the descriptor
+// position.
+func (c *Client) WriteAt(fd int, p []byte, off int64) (int, error) {
+	of, err := c.lookupFD(fd)
+	if err != nil {
+		return 0, err
+	}
+	if of.flags&(O_WRONLY|O_RDWR) == 0 {
+		return 0, proto.ErrInval
+	}
+	if off < 0 {
+		return 0, proto.ErrInval
+	}
+	if len(p) == 0 {
+		return 0, nil
+	}
+	if err := c.writeSpans(of, p, off); err != nil {
+		return 0, err
+	}
+	return len(p), nil
+}
+
+// Write writes p at the descriptor position (or at EOF with O_APPEND) and
+// advances it.
+func (c *Client) Write(fd int, p []byte) (int, error) {
+	of, err := c.lookupFD(fd)
+	if err != nil {
+		return 0, err
+	}
+	if of.flags&(O_WRONLY|O_RDWR) == 0 {
+		return 0, proto.ErrInval
+	}
+	if len(p) == 0 {
+		return 0, nil
+	}
+	of.mu.Lock()
+	defer of.mu.Unlock()
+	off := of.pos
+	if of.flags&O_APPEND != 0 {
+		// Append resolves EOF with a stat; concurrent appenders may
+		// interleave (GekkoFS offers no atomic append — applications are
+		// responsible for avoiding conflicts, paper §III-A).
+		md, err := c.statPath(of.path)
+		if err != nil {
+			return 0, err
+		}
+		off = md.Size
+	}
+	if err := c.writeSpansLocked(of, p, off); err != nil {
+		return 0, err
+	}
+	of.pos = off + int64(len(p))
+	return len(p), nil
+}
+
+func (c *Client) writeSpans(of *openFile, p []byte, off int64) error {
+	of.mu.Lock()
+	defer of.mu.Unlock()
+	return c.writeSpansLocked(of, p, off)
+}
+
+// writeSpansLocked sends the chunk writes and then the size update.
+// Caller holds of.mu.
+func (c *Client) writeSpansLocked(of *openFile, p []byte, off int64) error {
+	groups := c.groupByTarget(of.path, off, int64(len(p)))
+	err := runGroups(groups, func(node int, g *targetGroup) error {
+		e := rpc.NewEnc(len(of.path) + 16 + 24*len(g.spans))
+		e.Str(of.path)
+		proto.EncodeSpans(e, g.spans)
+		// Concatenate this daemon's spans; the bulk region is what the
+		// daemon pulls (RDMA-read in the paper's deployment).
+		bulk := make([]byte, 0, g.bytes)
+		for i, s := range g.spans {
+			bulk = append(bulk, p[g.bufOff[i]:g.bufOff[i]+s.Len]...)
+		}
+		d, err := c.call(node, proto.OpWriteChunks, e.Bytes(), bulk, rpc.BulkIn)
+		if err != nil {
+			return err
+		}
+		written := d.I64()
+		if err := d.Done(); err != nil {
+			return err
+		}
+		if written != g.bytes {
+			return io.ErrShortWrite
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	return c.growSizeLocked(of, off+int64(len(p)))
+}
+
+// growSizeLocked records the new size candidate: either synchronously on
+// the metadata daemon (the paper's default) or into the client-side
+// size-update cache (§IV-B) which flushes every sizeCacheOps writes.
+func (c *Client) growSizeLocked(of *openFile, candidate int64) error {
+	if c.sizeCacheOps > 0 {
+		if candidate > of.pendingSize {
+			of.pendingSize = candidate
+		}
+		of.pendingOps++
+		if of.pendingOps < c.sizeCacheOps {
+			return nil
+		}
+		return c.flushSizeLocked(of)
+	}
+	return c.sendGrow(of.path, candidate)
+}
+
+// flushSizeLocked pushes the cached size candidate, if any.
+func (c *Client) flushSizeLocked(of *openFile) error {
+	if of.pendingOps == 0 {
+		return nil
+	}
+	candidate := of.pendingSize
+	of.pendingOps = 0
+	of.pendingSize = 0
+	return c.sendGrow(of.path, candidate)
+}
+
+func (c *Client) sendGrow(path string, candidate int64) error {
+	e := rpc.NewEnc(len(path) + 24)
+	e.Str(path).I64(candidate).U8(0).I64(time.Now().UnixNano())
+	_, err := c.call(c.dist.MetaTarget(path), proto.OpUpdateSize, e.Bytes(), nil, rpc.BulkNone)
+	return err
+}
+
+// ReadAt reads into p from offset off without touching the descriptor
+// position. It returns io.EOF when fewer than len(p) bytes lie below the
+// file's current size, after the fashion of io.ReaderAt.
+func (c *Client) ReadAt(fd int, p []byte, off int64) (int, error) {
+	of, err := c.lookupFD(fd)
+	if err != nil {
+		return 0, err
+	}
+	if of.flags&(O_WRONLY) != 0 && of.flags&O_RDWR == 0 {
+		return 0, proto.ErrInval
+	}
+	if off < 0 {
+		return 0, proto.ErrInval
+	}
+	return c.readSpans(of, p, off)
+}
+
+// Read reads from the descriptor position and advances it.
+func (c *Client) Read(fd int, p []byte) (int, error) {
+	of, err := c.lookupFD(fd)
+	if err != nil {
+		return 0, err
+	}
+	if of.flags&(O_WRONLY) != 0 && of.flags&O_RDWR == 0 {
+		return 0, proto.ErrInval
+	}
+	of.mu.Lock()
+	defer of.mu.Unlock()
+	n, err := c.readSpans(of, p, of.pos)
+	of.pos += int64(n)
+	return n, err
+}
+
+// readSpans clamps [off, off+len(p)) against the file size (one stat RPC
+// — the synchronous, cache-less protocol) and gathers the chunk spans
+// from their daemons. Regions never written inside the size read as
+// zeros.
+func (c *Client) readSpans(of *openFile, p []byte, off int64) (int, error) {
+	if len(p) == 0 {
+		return 0, nil
+	}
+	md, err := c.statPath(of.path)
+	if err != nil {
+		return 0, err
+	}
+	if off >= md.Size {
+		return 0, io.EOF
+	}
+	n := int64(len(p))
+	if off+n > md.Size {
+		n = md.Size - off
+	}
+	// Zero-fill the requested window: daemons only return bytes that
+	// exist in chunk files; holes stay zero.
+	for i := int64(0); i < n; i++ {
+		p[i] = 0
+	}
+	groups := c.groupByTarget(of.path, off, n)
+	err = runGroups(groups, func(node int, g *targetGroup) error {
+		e := rpc.NewEnc(len(of.path) + 16 + 24*len(g.spans))
+		e.Str(of.path)
+		proto.EncodeSpans(e, g.spans)
+		bulk := make([]byte, g.bytes)
+		d, err := c.call(node, proto.OpReadChunks, e.Bytes(), bulk, rpc.BulkOut)
+		if err != nil {
+			return err
+		}
+		cnt := d.U32()
+		if int(cnt) != len(g.spans) {
+			return proto.ErrInval
+		}
+		for i := uint32(0); i < cnt; i++ {
+			_ = d.I64() // per-span present-byte counts; holes are zeros
+		}
+		if err := d.Done(); err != nil {
+			return err
+		}
+		var boff int64
+		for i, s := range g.spans {
+			copy(p[g.bufOff[i]:g.bufOff[i]+s.Len], bulk[boff:boff+s.Len])
+			boff += s.Len
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	if n < int64(len(p)) {
+		return int(n), io.EOF
+	}
+	return int(n), nil
+}

@@ -1,0 +1,237 @@
+// Package core orchestrates GekkoFS deployments: it brings a set of
+// daemons up (in-process for tests and single-machine use, or over TCP
+// for multi-process runs), wires clients to them, and tears everything
+// down. The paper stresses that any user can deploy the file system for
+// the lifetime of a job in under 20 seconds on 512 nodes; Cluster records
+// its own bring-up time so the startup experiment (T4 in DESIGN.md) can
+// report the equivalent measurement.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/daemon"
+	"repro/internal/distributor"
+	"repro/internal/meta"
+	"repro/internal/proto"
+	"repro/internal/rpc"
+	"repro/internal/transport"
+	"repro/internal/vfs"
+)
+
+// Config describes an in-process cluster.
+type Config struct {
+	// Nodes is the daemon count (one per simulated compute node).
+	Nodes int
+	// ChunkSize is the cluster-wide chunk size; zero selects 512 KiB.
+	ChunkSize int64
+	// PoolSize bounds each daemon's concurrent RPC handlers.
+	PoolSize int
+	// DataDir, when non-empty, stores daemon state under
+	// DataDir/node<N>/ on the real file system; otherwise everything is
+	// in memory.
+	DataDir string
+	// SyncWAL makes metadata durable before acknowledgement.
+	SyncWAL bool
+	// SizeCacheOps configures clients' size-update caching (paper
+	// §IV-B); zero keeps strict synchronous updates.
+	SizeCacheOps int
+	// Distributor names the placement pattern: "" or "simplehash" for
+	// the paper's hashing, "guided-first-chunk" for the co-located
+	// first-chunk variant.
+	Distributor string
+}
+
+// Cluster is a running in-process deployment.
+type Cluster struct {
+	cfg     Config
+	daemons []*daemon.Daemon
+	net     *transport.MemNetwork
+	deploy  time.Duration
+
+	mu    sync.Mutex
+	conns [][]rpc.Conn // conns handed to clients, closed on Close
+}
+
+// NewCluster deploys cfg.Nodes daemons and waits until every one answers
+// a ping.
+func NewCluster(cfg Config) (*Cluster, error) {
+	if cfg.Nodes <= 0 {
+		return nil, errors.New("core: cluster needs at least one node")
+	}
+	begin := time.Now()
+	c := &Cluster{cfg: cfg, net: transport.NewMemNetwork()}
+
+	// Daemons start concurrently, as a parallel job launcher would start
+	// them.
+	daemons := make([]*daemon.Daemon, cfg.Nodes)
+	errs := make([]error, cfg.Nodes)
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.Nodes; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var fs vfs.FS
+			if cfg.DataDir == "" {
+				fs = vfs.NewMem()
+			} else {
+				var err error
+				fs, err = vfs.NewOS(filepath.Join(cfg.DataDir, fmt.Sprintf("node%d", i)))
+				if err != nil {
+					errs[i] = err
+					return
+				}
+			}
+			d, err := daemon.New(daemon.Config{
+				ID:        i,
+				FS:        fs,
+				ChunkSize: cfg.ChunkSize,
+				PoolSize:  cfg.PoolSize,
+				SyncWAL:   cfg.SyncWAL,
+			})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			daemons[i] = d
+		}(i)
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		for _, d := range daemons {
+			if d != nil {
+				d.Close()
+			}
+		}
+		return nil, err
+	}
+	c.daemons = daemons
+	for i, d := range daemons {
+		c.net.Register(i, d.Server())
+	}
+
+	// Health check: every daemon must answer a ping before the cluster
+	// is usable (the registration step of a real deployment).
+	for i := range daemons {
+		conn, err := c.net.Dial(i)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		if _, err := conn.Call(proto.OpPing, nil, nil, rpc.BulkNone); err != nil {
+			c.Close()
+			return nil, fmt.Errorf("core: daemon %d failed ping: %w", i, err)
+		}
+	}
+
+	// The namespace root must exist before clients mount.
+	boot, err := c.newClient()
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	if err := boot.EnsureRoot(); err != nil {
+		c.Close()
+		return nil, err
+	}
+
+	c.deploy = time.Since(begin)
+	return c, nil
+}
+
+// DeployTime reports how long bring-up took (daemon start + health check
+// + namespace bootstrap).
+func (c *Cluster) DeployTime() time.Duration { return c.deploy }
+
+// Nodes returns the daemon count.
+func (c *Cluster) Nodes() int { return c.cfg.Nodes }
+
+// ChunkSize returns the cluster's chunk size.
+func (c *Cluster) ChunkSize() int64 {
+	if c.cfg.ChunkSize == 0 {
+		return meta.DefaultChunkSize
+	}
+	return c.cfg.ChunkSize
+}
+
+func (c *Cluster) dist() (distributor.Distributor, error) {
+	switch c.cfg.Distributor {
+	case "", "simplehash":
+		return distributor.NewSimpleHash(c.cfg.Nodes), nil
+	case "guided-first-chunk":
+		return distributor.NewGuidedFirstChunk(c.cfg.Nodes), nil
+	default:
+		return nil, fmt.Errorf("core: unknown distributor %q", c.cfg.Distributor)
+	}
+}
+
+func (c *Cluster) newClient() (*client.Client, error) {
+	conns := make([]rpc.Conn, c.cfg.Nodes)
+	for i := range conns {
+		conn, err := c.net.Dial(i)
+		if err != nil {
+			return nil, err
+		}
+		conns[i] = conn
+	}
+	dist, err := c.dist()
+	if err != nil {
+		return nil, err
+	}
+	cl, err := client.New(client.Config{
+		Conns:        conns,
+		Dist:         dist,
+		ChunkSize:    c.cfg.ChunkSize,
+		SizeCacheOps: c.cfg.SizeCacheOps,
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.conns = append(c.conns, conns)
+	c.mu.Unlock()
+	return cl, nil
+}
+
+// NewClient mounts the file system: it returns a client wired to every
+// daemon (the preloaded library of the paper's architecture).
+func (c *Cluster) NewClient() (*client.Client, error) { return c.newClient() }
+
+// DaemonStats returns per-daemon operation counters.
+func (c *Cluster) DaemonStats() []daemon.Stats {
+	out := make([]daemon.Stats, len(c.daemons))
+	for i, d := range c.daemons {
+		out[i] = d.Stats()
+	}
+	return out
+}
+
+// Close tears the deployment down. In-memory state vanishes — GekkoFS is
+// a temporary file system; persistence across jobs is exactly what it
+// does not promise (DataDir deployments can be reopened, which tests use
+// to verify crash recovery of the metadata store).
+func (c *Cluster) Close() error {
+	c.mu.Lock()
+	for _, conns := range c.conns {
+		for _, conn := range conns {
+			conn.Close()
+		}
+	}
+	c.conns = nil
+	c.mu.Unlock()
+	var errs []error
+	for _, d := range c.daemons {
+		if d != nil {
+			if err := d.Close(); err != nil {
+				errs = append(errs, err)
+			}
+		}
+	}
+	c.daemons = nil
+	return errors.Join(errs...)
+}

@@ -1,0 +1,336 @@
+package daemon
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/kvstore"
+	"repro/internal/meta"
+	"repro/internal/proto"
+	"repro/internal/rpc"
+)
+
+// Response convention: every payload starts with a u16 errno; success data
+// follows. Unexpected internal failures return a Go error and surface at
+// the client as rpc.RemoteError.
+
+func okResp(extra int) *rpc.Enc {
+	e := rpc.NewEnc(2 + extra)
+	e.U16(uint16(proto.OK))
+	return e
+}
+
+func errResp(errno proto.Errno) []byte {
+	e := rpc.NewEnc(2)
+	e.U16(uint16(errno))
+	return e.Bytes()
+}
+
+func (d *Daemon) register() {
+	d.srv.Register(proto.OpPing, d.handlePing)
+	d.srv.Register(proto.OpCreate, d.handleCreate)
+	d.srv.Register(proto.OpStat, d.handleStat)
+	d.srv.Register(proto.OpRemoveMeta, d.handleRemoveMeta)
+	d.srv.Register(proto.OpUpdateSize, d.handleUpdateSize)
+	d.srv.Register(proto.OpWriteChunks, d.handleWriteChunks)
+	d.srv.Register(proto.OpReadChunks, d.handleReadChunks)
+	d.srv.Register(proto.OpRemoveChunks, d.handleRemoveChunks)
+	d.srv.Register(proto.OpTruncateChunks, d.handleTruncateChunks)
+	d.srv.Register(proto.OpReadDir, d.handleReadDir)
+	d.srv.Register(proto.OpStats, d.handleStats)
+}
+
+func (d *Daemon) handlePing([]byte, rpc.Bulk) ([]byte, error) {
+	e := okResp(4)
+	e.U32(uint32(d.cfg.ID))
+	return e.Bytes(), nil
+}
+
+// handleCreate inserts a metadata record. The flat namespace makes this a
+// single conditional KV insert regardless of directory population — the
+// property behind Fig. 2a's flat-vs-Lustre gap.
+func (d *Daemon) handleCreate(req []byte, _ rpc.Bulk) ([]byte, error) {
+	dec := rpc.NewDec(req)
+	path := dec.Str()
+	mode := meta.Mode(dec.U8())
+	ctime := dec.I64()
+	if err := dec.Done(); err != nil {
+		return nil, err
+	}
+	d.creates.Add(1)
+	md := meta.Metadata{Mode: mode, CTimeNS: ctime, MTimeNS: ctime}
+	ok, err := d.db.PutIfAbsent([]byte(path), md.Encode())
+	if err != nil {
+		return nil, fmt.Errorf("create %s: %w", path, err)
+	}
+	if !ok {
+		return errResp(proto.ErrnoExist), nil
+	}
+	return okResp(0).Bytes(), nil
+}
+
+func (d *Daemon) handleStat(req []byte, _ rpc.Bulk) ([]byte, error) {
+	dec := rpc.NewDec(req)
+	path := dec.Str()
+	if err := dec.Done(); err != nil {
+		return nil, err
+	}
+	d.statOps.Add(1)
+	v, err := d.db.Get([]byte(path))
+	if errors.Is(err, kvstore.ErrNotFound) {
+		return errResp(proto.ErrnoNotExist), nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("stat %s: %w", path, err)
+	}
+	e := okResp(len(v))
+	e.Blob(v)
+	return e.Bytes(), nil
+}
+
+// handleRemoveMeta deletes the record and reports the mode and size it
+// had, so the client can decide whether chunk collection RPCs are needed
+// (zero-size files need none — the common mdtest case).
+func (d *Daemon) handleRemoveMeta(req []byte, _ rpc.Bulk) ([]byte, error) {
+	dec := rpc.NewDec(req)
+	path := dec.Str()
+	if err := dec.Done(); err != nil {
+		return nil, err
+	}
+	d.removes.Add(1)
+	var removed meta.Metadata
+	found := false
+	err := d.db.Update([]byte(path), func(cur []byte, ok bool) ([]byte, bool, error) {
+		if !ok {
+			return nil, false, kvstore.ErrNotFound
+		}
+		m, err := meta.DecodeMetadata(cur)
+		if err != nil {
+			return nil, false, err
+		}
+		removed, found = m, true
+		return nil, true, nil // delete
+	})
+	if errors.Is(err, kvstore.ErrNotFound) || !found {
+		return errResp(proto.ErrnoNotExist), nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("remove %s: %w", path, err)
+	}
+	e := okResp(9)
+	e.U8(uint8(removed.Mode)).I64(removed.Size)
+	return e.Bytes(), nil
+}
+
+// handleUpdateSize grows the size through a merge operand (lock-free, the
+// released GekkoFS's RocksDB merge) or sets it exactly for truncate.
+func (d *Daemon) handleUpdateSize(req []byte, _ rpc.Bulk) ([]byte, error) {
+	dec := rpc.NewDec(req)
+	path := dec.Str()
+	size := dec.I64()
+	truncate := dec.U8() == 1
+	mtime := dec.I64()
+	if err := dec.Done(); err != nil {
+		return nil, err
+	}
+	d.sizeUpdates.Add(1)
+	if !truncate {
+		op := rpc.NewEnc(16)
+		op.I64(size).I64(mtime)
+		if err := d.db.Merge([]byte(path), op.Bytes()); err != nil {
+			return nil, fmt.Errorf("grow %s: %w", path, err)
+		}
+		return okResp(0).Bytes(), nil
+	}
+	var errno proto.Errno
+	err := d.db.Update([]byte(path), func(cur []byte, ok bool) ([]byte, bool, error) {
+		if !ok {
+			errno = proto.ErrnoNotExist
+			return nil, false, kvstore.ErrNotFound
+		}
+		m, err := meta.DecodeMetadata(cur)
+		if err != nil {
+			return nil, false, err
+		}
+		if m.IsDir() {
+			errno = proto.ErrnoIsDir
+			return nil, false, proto.ErrIsDir
+		}
+		m.Size = size
+		m.MTimeNS = mtime
+		return m.Encode(), false, nil
+	})
+	if errno != proto.OK {
+		return errResp(errno), nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("truncate %s: %w", path, err)
+	}
+	return okResp(0).Bytes(), nil
+}
+
+func (d *Daemon) handleWriteChunks(req []byte, bulk rpc.Bulk) ([]byte, error) {
+	dec := rpc.NewDec(req)
+	path := dec.Str()
+	spans := proto.DecodeSpans(dec)
+	if err := dec.Done(); err != nil {
+		return nil, err
+	}
+	total := proto.SpanBytes(spans)
+	if bulk == nil || int64(bulk.Len()) < total {
+		return nil, fmt.Errorf("write %s: bulk region %d short of %d", path, bulkLen(bulk), total)
+	}
+	data := make([]byte, total)
+	if err := bulk.Pull(data); err != nil {
+		return nil, err
+	}
+	var off int64
+	for _, s := range spans {
+		if err := d.chunks.WriteChunk(path, s.ID, s.Off, data[off:off+s.Len]); err != nil {
+			return nil, err
+		}
+		off += s.Len
+	}
+	d.writeOps.Add(1)
+	d.writeBytes.Add(uint64(total))
+	e := okResp(8)
+	e.I64(total)
+	return e.Bytes(), nil
+}
+
+func (d *Daemon) handleReadChunks(req []byte, bulk rpc.Bulk) ([]byte, error) {
+	dec := rpc.NewDec(req)
+	path := dec.Str()
+	spans := proto.DecodeSpans(dec)
+	if err := dec.Done(); err != nil {
+		return nil, err
+	}
+	total := proto.SpanBytes(spans)
+	if bulk == nil || int64(bulk.Len()) < total {
+		return nil, fmt.Errorf("read %s: bulk region %d short of %d", path, bulkLen(bulk), total)
+	}
+	data := make([]byte, total) // zero-filled: holes read as zeros
+	counts := make([]int64, len(spans))
+	var off int64
+	for i, s := range spans {
+		n, err := d.chunks.ReadChunk(path, s.ID, s.Off, data[off:off+s.Len])
+		if err != nil {
+			return nil, err
+		}
+		counts[i] = int64(n)
+		off += s.Len
+	}
+	if err := bulk.Push(data); err != nil {
+		return nil, err
+	}
+	d.readOps.Add(1)
+	d.readBytes.Add(uint64(total))
+	e := okResp(4 + 8*len(counts))
+	e.U32(uint32(len(counts)))
+	for _, c := range counts {
+		e.I64(c)
+	}
+	return e.Bytes(), nil
+}
+
+func bulkLen(b rpc.Bulk) int {
+	if b == nil {
+		return 0
+	}
+	return b.Len()
+}
+
+func (d *Daemon) handleRemoveChunks(req []byte, _ rpc.Bulk) ([]byte, error) {
+	dec := rpc.NewDec(req)
+	path := dec.Str()
+	if err := dec.Done(); err != nil {
+		return nil, err
+	}
+	if err := d.chunks.RemoveChunks(path); err != nil {
+		return nil, err
+	}
+	return okResp(0).Bytes(), nil
+}
+
+func (d *Daemon) handleTruncateChunks(req []byte, _ rpc.Bulk) ([]byte, error) {
+	dec := rpc.NewDec(req)
+	path := dec.Str()
+	newSize := dec.I64()
+	if err := dec.Done(); err != nil {
+		return nil, err
+	}
+	if newSize < 0 {
+		return errResp(proto.ErrnoInval), nil
+	}
+	if err := d.chunks.TruncateChunks(path, d.cfg.ChunkSize, newSize); err != nil {
+		return nil, err
+	}
+	return okResp(0).Bytes(), nil
+}
+
+// handleReadDir scans this daemon's KV store for direct children of dir.
+// The scan runs against a point-in-time iterator locally, but the client
+// merges scans from all daemons without any cross-daemon lock — the
+// eventual consistency the paper accepts for indirect operations like
+// `ls -l` (§III-A).
+func (d *Daemon) handleReadDir(req []byte, _ rpc.Bulk) ([]byte, error) {
+	dec := rpc.NewDec(req)
+	dir := dec.Str()
+	if err := dec.Done(); err != nil {
+		return nil, err
+	}
+	d.readDirs.Add(1)
+	prefix := dir
+	if prefix != meta.Root {
+		prefix += "/"
+	}
+	it, err := d.db.NewIterator()
+	if err != nil {
+		return nil, err
+	}
+	defer it.Close()
+	type ent struct {
+		name  string
+		isDir bool
+		size  int64
+	}
+	var ents []ent
+	for it.Seek([]byte(prefix)); it.Valid(); it.Next() {
+		p := string(it.Key())
+		if len(p) < len(prefix) || p[:len(prefix)] != prefix {
+			break
+		}
+		if !meta.IsChildOf(p, dir) {
+			continue // deeper descendant hashed here
+		}
+		m, err := meta.DecodeMetadata(it.Value())
+		if err != nil {
+			return nil, fmt.Errorf("readdir %s: corrupt record at %s: %w", dir, p, err)
+		}
+		ents = append(ents, ent{name: meta.Base(p), isDir: m.IsDir(), size: m.Size})
+	}
+	if err := it.Err(); err != nil {
+		return nil, err
+	}
+	e := okResp(16 * len(ents))
+	e.U32(uint32(len(ents)))
+	for _, en := range ents {
+		e.Str(en.name)
+		if en.isDir {
+			e.U8(1)
+		} else {
+			e.U8(0)
+		}
+		e.I64(en.size)
+	}
+	return e.Bytes(), nil
+}
+
+func (d *Daemon) handleStats([]byte, rpc.Bulk) ([]byte, error) {
+	st := d.Stats()
+	e := okResp(9 * 8)
+	e.U64(st.Creates).U64(st.StatOps).U64(st.Removes).U64(st.SizeUpdates)
+	e.U64(st.WriteOps).U64(st.ReadOps).U64(st.WriteBytes).U64(st.ReadBytes)
+	e.U64(st.ReadDirs)
+	return e.Bytes(), nil
+}

@@ -1,0 +1,157 @@
+// Package distributor implements GekkoFS's pseudo-random data and metadata
+// distribution ("wide striping", paper §III-B). Every client resolves the
+// daemon responsible for a path or a chunk locally, by hashing, so the file
+// system needs no central placement tables.
+//
+// The paper's released system hashes the path for metadata and the pair
+// (path, chunkID) for data. The paper's conclusion lists "explore different
+// data distribution patterns" as future work; this package therefore also
+// provides two alternative placements (GuidedFirstChunk and LocalFirst)
+// which the ablation experiment A2 compares.
+package distributor
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"repro/internal/meta"
+)
+
+// Distributor decides which daemon owns a path's metadata and a chunk's
+// data. Implementations must be deterministic pure functions of their
+// inputs so that every client resolves identically.
+type Distributor interface {
+	// Nodes returns the total number of daemons the distributor spreads
+	// over.
+	Nodes() int
+	// MetaTarget returns the daemon index owning the metadata of path.
+	MetaTarget(path string) int
+	// ChunkTarget returns the daemon index owning chunk id of path.
+	ChunkTarget(path string, id meta.ChunkID) int
+	// Name identifies the distribution pattern in reports.
+	Name() string
+}
+
+// hashPath hashes a path with FNV-1a, the same family of cheap
+// non-cryptographic hash the released GekkoFS uses (std::hash).
+func hashPath(path string) uint64 {
+	h := fnv.New64a()
+	// hash.Hash64.Write never fails.
+	h.Write([]byte(path))
+	return h.Sum64()
+}
+
+// hashPathChunk hashes the pair (path, chunk id).
+func hashPathChunk(path string, id meta.ChunkID) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(path))
+	var b [8]byte
+	v := uint64(id)
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+	h.Write(b[:])
+	return h.Sum64()
+}
+
+// SimpleHash is the paper's distribution: metadata to hash(path) mod N,
+// chunk c of a file to hash(path, c) mod N.
+type SimpleHash struct {
+	n int
+}
+
+// NewSimpleHash returns a SimpleHash over n daemons; n must be > 0.
+func NewSimpleHash(n int) *SimpleHash {
+	if n <= 0 {
+		panic("distributor: node count must be positive")
+	}
+	return &SimpleHash{n: n}
+}
+
+// Nodes implements Distributor.
+func (d *SimpleHash) Nodes() int { return d.n }
+
+// Name implements Distributor.
+func (d *SimpleHash) Name() string { return "simplehash" }
+
+// MetaTarget implements Distributor.
+func (d *SimpleHash) MetaTarget(path string) int {
+	return int(hashPath(path) % uint64(d.n))
+}
+
+// ChunkTarget implements Distributor.
+func (d *SimpleHash) ChunkTarget(path string, id meta.ChunkID) int {
+	return int(hashPathChunk(path, id) % uint64(d.n))
+}
+
+// GuidedFirstChunk places chunk 0 of every file on the file's metadata
+// node and spreads the remaining chunks by hash. Small files (≤ 1 chunk)
+// then need a single daemon for create+write+stat, halving RPC fan-out for
+// the metadata-heavy small-file workloads of the paper's introduction, at
+// the cost of slightly less uniform data placement.
+type GuidedFirstChunk struct {
+	n int
+}
+
+// NewGuidedFirstChunk returns a GuidedFirstChunk over n daemons.
+func NewGuidedFirstChunk(n int) *GuidedFirstChunk {
+	if n <= 0 {
+		panic("distributor: node count must be positive")
+	}
+	return &GuidedFirstChunk{n: n}
+}
+
+// Nodes implements Distributor.
+func (d *GuidedFirstChunk) Nodes() int { return d.n }
+
+// Name implements Distributor.
+func (d *GuidedFirstChunk) Name() string { return "guided-first-chunk" }
+
+// MetaTarget implements Distributor.
+func (d *GuidedFirstChunk) MetaTarget(path string) int {
+	return int(hashPath(path) % uint64(d.n))
+}
+
+// ChunkTarget implements Distributor.
+func (d *GuidedFirstChunk) ChunkTarget(path string, id meta.ChunkID) int {
+	if id == 0 {
+		return d.MetaTarget(path)
+	}
+	return int(hashPathChunk(path, id) % uint64(d.n))
+}
+
+// LocalFirst writes every chunk to the issuing client's own node,
+// emulating BurstFS's "write local" placement (the paper contrasts GekkoFS
+// against it in §II). Reads from other nodes then pay the remote cost.
+// LocalFirst is parameterized per client; construct one per client node.
+type LocalFirst struct {
+	n     int
+	local int
+}
+
+// NewLocalFirst returns a LocalFirst distributor for a client running on
+// daemon index local out of n daemons.
+func NewLocalFirst(n, local int) *LocalFirst {
+	if n <= 0 {
+		panic("distributor: node count must be positive")
+	}
+	if local < 0 || local >= n {
+		panic(fmt.Sprintf("distributor: local index %d out of range [0,%d)", local, n))
+	}
+	return &LocalFirst{n: n, local: local}
+}
+
+// Nodes implements Distributor.
+func (d *LocalFirst) Nodes() int { return d.n }
+
+// Name implements Distributor.
+func (d *LocalFirst) Name() string { return "local-first" }
+
+// MetaTarget implements Distributor: metadata stays hash-distributed so
+// stats from any node still resolve without a broadcast.
+func (d *LocalFirst) MetaTarget(path string) int {
+	return int(hashPath(path) % uint64(d.n))
+}
+
+// ChunkTarget implements Distributor.
+func (d *LocalFirst) ChunkTarget(string, meta.ChunkID) int { return d.local }

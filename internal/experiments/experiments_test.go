@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/simcluster"
+)
+
+func TestNodeSet(t *testing.T) {
+	full := NodeSet(false)
+	if len(full) != 10 || full[0] != 1 || full[9] != 512 {
+		t.Fatalf("full = %v", full)
+	}
+	quick := NodeSet(true)
+	if quick[len(quick)-1] != 64 {
+		t.Fatalf("quick = %v", quick)
+	}
+}
+
+func TestFig2TableShape(t *testing.T) {
+	tab := Fig2(simcluster.MDOpCreate, []int{1, 4})
+	if len(tab.Rows) != 2 || len(tab.Columns) != 5 {
+		t.Fatalf("shape = %dx%d", len(tab.Rows), len(tab.Columns))
+	}
+	var sb strings.Builder
+	tab.Fprint(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "Fig. 2a") || !strings.Contains(out, "| nodes |") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+func TestFig3TableShape(t *testing.T) {
+	tab := Fig3(true, []int{2})
+	if len(tab.Rows) != 1 || len(tab.Columns) != 1+len(TransferSizes)+2 {
+		t.Fatalf("shape = %dx%d", len(tab.Rows), len(tab.Columns))
+	}
+	if !strings.Contains(tab.Title, "3a") {
+		t.Fatal(tab.Title)
+	}
+	if !strings.Contains(Fig3(false, []int{2}).Title, "3b") {
+		t.Fatal("read panel mislabeled")
+	}
+}
+
+func TestTextTablesRun(t *testing.T) {
+	if rows := TextRandVsSeq(4).Rows; len(rows) != 8 {
+		t.Fatalf("rand-vs-seq rows = %d", len(rows))
+	}
+	if rows := TextSharedFile(4).Rows; len(rows) != 3 {
+		t.Fatalf("shared rows = %d", len(rows))
+	}
+	if rows := TextLatency(4).Rows; len(rows) != 2 {
+		t.Fatalf("latency rows = %d", len(rows))
+	}
+}
+
+func TestStartupModel(t *testing.T) {
+	d512 := SimStartup(512, 9)
+	if d512 >= 20*time.Second {
+		t.Fatalf("modeled 512-node startup %v ≥ 20s; paper promises less", d512)
+	}
+	if d512 <= SimStartup(1, 9) {
+		t.Fatal("startup should grow with node count")
+	}
+	if SimStartup(512, 9) != SimStartup(512, 9) {
+		t.Fatal("startup model not deterministic")
+	}
+}
+
+func TestStartupTableWithRealMeasurement(t *testing.T) {
+	tab := TextStartup([]int{1, 4}, true)
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for _, r := range tab.Rows {
+		if r[2] == "-" {
+			t.Fatalf("real measurement missing for %s nodes", r[0])
+		}
+	}
+}
+
+func TestAblationsRun(t *testing.T) {
+	if rows := AblationChunkSize(2).Rows; len(rows) != 6 {
+		t.Fatalf("chunk rows = %d", len(rows))
+	}
+	tab := AblationDistributor(4)
+	if len(tab.Rows) != 2 {
+		t.Fatalf("dist rows = %d", len(tab.Rows))
+	}
+}
+
+func TestFig2SpeedupGrowsWithNodes(t *testing.T) {
+	tab := Fig2(simcluster.MDOpCreate, []int{1, 16})
+	// Column 4 is the speedup "Nx"; the 16-node speedup must exceed the
+	// 1-node one.
+	parse := func(s string) float64 {
+		var v float64
+		if _, err := fmt.Sscanf(s, "%fx", &v); err != nil {
+			t.Fatalf("bad speedup cell %q: %v", s, err)
+		}
+		return v
+	}
+	if parse(tab.Rows[1][4]) <= parse(tab.Rows[0][4]) {
+		t.Fatalf("speedup not growing: %v vs %v", tab.Rows[0][4], tab.Rows[1][4])
+	}
+}

@@ -1,0 +1,77 @@
+package kvstore
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/vfs"
+)
+
+// These microbenchmarks measure the metadata-operation building blocks the
+// simulation plane's service-time constants are calibrated from
+// (internal/simcluster/params.go): a GekkoFS create is one small put, a
+// stat is one point get.
+
+func BenchmarkPutSmall(b *testing.B) {
+	db, err := Open(Options{FS: vfs.NewMem()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	v := make([]byte, 25) // metadata record size
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("/bench/dir/file.%08d", i)), v); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGetSmall(b *testing.B) {
+	db, err := Open(Options{FS: vfs.NewMem()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	const n = 100000
+	v := make([]byte, 25)
+	for i := 0; i < n; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("/bench/dir/file.%08d", i)), v); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Get([]byte(fmt.Sprintf("/bench/dir/file.%08d", i%n))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDeleteSmall(b *testing.B) {
+	db, err := Open(Options{FS: vfs.NewMem()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := db.Delete([]byte(fmt.Sprintf("/bench/dir/file.%08d", i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMergeSizeUpdate(b *testing.B) {
+	db, err := Open(Options{FS: vfs.NewMem(), Merger: sizeMax})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := db.Merge([]byte("/shared/file"), u64(uint64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package kvstore
+
+import "encoding/binary"
+
+// bloomFilter is a split block-less Bloom filter over user keys, built per
+// SSTable like RocksDB's full filters. A negative answer proves the key is
+// absent from the table, letting point lookups skip the data blocks that
+// dominate stat-heavy metadata workloads.
+type bloomFilter struct {
+	bits   []byte
+	hashes uint32
+}
+
+// buildBloom constructs a filter for keys with the given bits-per-key
+// budget (10 ≈ 1% false-positive rate).
+func buildBloom(keys [][]byte, bitsPerKey int) bloomFilter {
+	if bitsPerKey < 1 {
+		bitsPerKey = 1
+	}
+	k := uint32(float64(bitsPerKey) * 69 / 100) // ln2 * bitsPerKey
+	if k < 1 {
+		k = 1
+	}
+	if k > 30 {
+		k = 30
+	}
+	nBits := len(keys) * bitsPerKey
+	if nBits < 64 {
+		nBits = 64
+	}
+	nBytes := (nBits + 7) / 8
+	bits := make([]byte, nBytes)
+	for _, key := range keys {
+		h := bloomHash(key)
+		delta := h>>17 | h<<15 // rotate for double hashing
+		for i := uint32(0); i < k; i++ {
+			pos := h % uint32(nBytes*8)
+			bits[pos/8] |= 1 << (pos % 8)
+			h += delta
+		}
+	}
+	return bloomFilter{bits: bits, hashes: k}
+}
+
+// mayContain reports whether key could be in the set; false negatives are
+// impossible.
+func (f *bloomFilter) mayContain(key []byte) bool {
+	if len(f.bits) == 0 {
+		return true
+	}
+	nBits := uint32(len(f.bits) * 8)
+	h := bloomHash(key)
+	delta := h>>17 | h<<15
+	for i := uint32(0); i < f.hashes; i++ {
+		pos := h % nBits
+		if f.bits[pos/8]&(1<<(pos%8)) == 0 {
+			return false
+		}
+		h += delta
+	}
+	return true
+}
+
+// encode serializes the filter as [hashes u32][bits...].
+func (f *bloomFilter) encode() []byte {
+	out := make([]byte, 4+len(f.bits))
+	binary.LittleEndian.PutUint32(out, f.hashes)
+	copy(out[4:], f.bits)
+	return out
+}
+
+// decodeBloom parses an encoded filter.
+func decodeBloom(b []byte) bloomFilter {
+	if len(b) < 4 {
+		return bloomFilter{}
+	}
+	return bloomFilter{hashes: binary.LittleEndian.Uint32(b), bits: b[4:]}
+}
+
+// bloomHash is the classic Murmur-inspired hash LevelDB uses for its
+// filters; cheap and well-spread for short path keys.
+func bloomHash(data []byte) uint32 {
+	const (
+		seed = 0xbc9f1d34
+		m    = 0xc6a4a793
+	)
+	h := uint32(seed) ^ uint32(len(data))*m
+	for ; len(data) >= 4; data = data[4:] {
+		h += binary.LittleEndian.Uint32(data)
+		h *= m
+		h ^= h >> 16
+	}
+	switch len(data) {
+	case 3:
+		h += uint32(data[2]) << 16
+		fallthrough
+	case 2:
+		h += uint32(data[1]) << 8
+		fallthrough
+	case 1:
+		h += uint32(data[0])
+		h *= m
+		h ^= h >> 24
+	}
+	return h
+}

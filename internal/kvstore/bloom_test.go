@@ -1,0 +1,72 @@
+package kvstore
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestBloomNoFalseNegatives(t *testing.T) {
+	var keys [][]byte
+	for i := 0; i < 5000; i++ {
+		keys = append(keys, []byte(fmt.Sprintf("/data/file.%d", i)))
+	}
+	f := buildBloom(keys, 10)
+	for _, k := range keys {
+		if !f.mayContain(k) {
+			t.Fatalf("false negative for %q", k)
+		}
+	}
+}
+
+func TestBloomFalsePositiveRate(t *testing.T) {
+	var keys [][]byte
+	for i := 0; i < 10000; i++ {
+		keys = append(keys, []byte(fmt.Sprintf("member-%d", i)))
+	}
+	f := buildBloom(keys, 10)
+	fp := 0
+	const probes = 10000
+	for i := 0; i < probes; i++ {
+		if f.mayContain([]byte(fmt.Sprintf("absent-%d", i))) {
+			fp++
+		}
+	}
+	// 10 bits/key targets ~1%; allow generous slack.
+	if rate := float64(fp) / probes; rate > 0.05 {
+		t.Fatalf("false positive rate %.3f > 0.05", rate)
+	}
+}
+
+func TestBloomEncodeDecode(t *testing.T) {
+	keys := [][]byte{[]byte("a"), []byte("bb"), []byte("ccc")}
+	f := buildBloom(keys, 10)
+	g := decodeBloom(f.encode())
+	for _, k := range keys {
+		if !g.mayContain(k) {
+			t.Fatalf("decoded filter lost %q", k)
+		}
+	}
+	if g.hashes != f.hashes || len(g.bits) != len(f.bits) {
+		t.Fatal("decoded filter shape differs")
+	}
+}
+
+func TestBloomEmptyAndDegenerate(t *testing.T) {
+	f := buildBloom(nil, 10)
+	// An empty filter may answer anything, but must not panic.
+	f.mayContain([]byte("x"))
+
+	var zero bloomFilter
+	if !zero.mayContain([]byte("x")) {
+		t.Fatal("zero-value filter must be permissive")
+	}
+	garbage := decodeBloom(nil)
+	if !garbage.mayContain([]byte("k")) {
+		t.Fatal("decode of garbage must yield permissive filter")
+	}
+	// Degenerate bits-per-key still works.
+	one := buildBloom([][]byte{[]byte("k")}, 0)
+	if !one.mayContain([]byte("k")) {
+		t.Fatal("bitsPerKey=0 filter lost its key")
+	}
+}

@@ -1,0 +1,160 @@
+package kvstore
+
+import "bytes"
+
+// internalIterator walks entries in internal order (key asc, seq desc).
+// memIter and sstIter implement it; mergeIter combines them.
+type internalIterator interface {
+	seekFirst()
+	seek(probe *entry)
+	valid() bool
+	next()
+	cur() *entry
+}
+
+// mergeIter interleaves several internalIterators into one ordered stream.
+// The source count is small (memtable + immutables + tables), so a linear
+// minimum scan beats heap bookkeeping.
+type mergeIter struct {
+	srcs []internalIterator
+	min  int // index of current minimum, -1 when exhausted
+}
+
+func newMergeIter(srcs []internalIterator) *mergeIter {
+	return &mergeIter{srcs: srcs, min: -1}
+}
+
+func (m *mergeIter) findMin() {
+	m.min = -1
+	for i, s := range m.srcs {
+		if !s.valid() {
+			continue
+		}
+		if m.min < 0 || compareEntries(s.cur(), m.srcs[m.min].cur()) < 0 {
+			m.min = i
+		}
+	}
+}
+
+func (m *mergeIter) seekFirst() {
+	for _, s := range m.srcs {
+		s.seekFirst()
+	}
+	m.findMin()
+}
+
+func (m *mergeIter) seek(probe *entry) {
+	for _, s := range m.srcs {
+		s.seek(probe)
+	}
+	m.findMin()
+}
+
+func (m *mergeIter) valid() bool { return m.min >= 0 }
+
+func (m *mergeIter) next() {
+	m.srcs[m.min].next()
+	m.findMin()
+}
+
+func (m *mergeIter) cur() *entry { return m.srcs[m.min].cur() }
+
+// Iterator is the user-facing ordered cursor over live keys. It resolves
+// versions, tombstones and merge chains against a snapshot sequence taken
+// at creation, so a scan observes a consistent point-in-time view even
+// while writes continue — the property the daemons' readdir scans rely on
+// locally (cross-daemon listings remain eventually consistent, paper
+// §III-A).
+type Iterator struct {
+	db   *DB
+	it   *mergeIter
+	snap uint64
+
+	key []byte
+	val []byte
+	ok  bool
+	err error
+}
+
+// SeekFirst positions the iterator at the smallest live key.
+func (i *Iterator) SeekFirst() {
+	i.it.seekFirst()
+	i.settle()
+}
+
+// Seek positions the iterator at the first live key >= target.
+func (i *Iterator) Seek(target []byte) {
+	probe := entry{key: target, seq: i.snap}
+	i.it.seek(&probe)
+	i.settle()
+}
+
+// Valid reports whether the iterator is positioned at a live key.
+func (i *Iterator) Valid() bool { return i.ok }
+
+// Err returns the first error the iterator encountered, if any.
+func (i *Iterator) Err() error { return i.err }
+
+// Key returns the current key. The slice is owned by the iterator and
+// valid until the next positioning call.
+func (i *Iterator) Key() []byte { return i.key }
+
+// Value returns the current value under the same ownership rules as Key.
+func (i *Iterator) Value() []byte { return i.val }
+
+// Next advances to the next live key.
+func (i *Iterator) Next() {
+	if !i.ok {
+		return
+	}
+	i.skipRestOfKey(i.key)
+	i.settle()
+}
+
+// skipRestOfKey consumes all remaining versions of key.
+func (i *Iterator) skipRestOfKey(key []byte) {
+	for i.it.valid() && bytes.Equal(i.it.cur().key, key) {
+		i.it.next()
+	}
+}
+
+// settle advances the underlying merged stream to the next key whose
+// resolved state is a live value, loading Key/Value.
+func (i *Iterator) settle() {
+	i.ok = false
+	for i.it.valid() {
+		e := i.it.cur()
+		if e.seq > i.snap {
+			// Version newer than the snapshot: ignore it and look at
+			// older versions of the same key.
+			i.it.next()
+			continue
+		}
+		key := append([]byte(nil), e.key...)
+		// Collect the visible version chain for this key.
+		var chain []entry
+		for i.it.valid() && bytes.Equal(i.it.cur().key, key) {
+			c := i.it.cur()
+			if c.seq <= i.snap && (len(chain) == 0 || chain[len(chain)-1].kind == kindMerge) {
+				chain = append(chain, entry{
+					key:  key,
+					val:  append([]byte(nil), c.val...),
+					seq:  c.seq,
+					kind: c.kind,
+				})
+			}
+			i.it.next()
+		}
+		val, live := i.db.resolveChain(key, chain)
+		if live {
+			i.key, i.val, i.ok = key, val, true
+			return
+		}
+	}
+}
+
+// Close releases the iterator's references to the snapshot state.
+func (i *Iterator) Close() {
+	i.db.releaseIterRefs()
+	i.it = nil
+}

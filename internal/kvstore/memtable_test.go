@@ -1,0 +1,116 @@
+package kvstore
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestMemTableOrdering(t *testing.T) {
+	mt := newMemTable(1)
+	keys := []string{"b", "a", "d", "c", "aa"}
+	for i, k := range keys {
+		mt.add(entry{key: []byte(k), val: []byte{byte(i)}, seq: uint64(i + 1), kind: kindPut})
+	}
+	var got []string
+	for it := mt.iter(); ; {
+		if it.n == nil {
+			it.seekFirst()
+		} else {
+			it.next()
+		}
+		if !it.valid() {
+			break
+		}
+		got = append(got, string(it.cur().key))
+	}
+	want := append([]string(nil), keys...)
+	sort.Strings(want)
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("iteration order %v, want %v", got, want)
+	}
+}
+
+func TestMemTableVersionsNewestFirst(t *testing.T) {
+	mt := newMemTable(1)
+	mt.add(entry{key: []byte("k"), val: []byte("v1"), seq: 1, kind: kindPut})
+	mt.add(entry{key: []byte("k"), val: []byte("v2"), seq: 2, kind: kindPut})
+	mt.add(entry{key: []byte("k"), val: []byte("v3"), seq: 3, kind: kindPut})
+
+	vs := mt.get([]byte("k"), 100)
+	if len(vs) != 1 || string(vs[0].val) != "v3" {
+		t.Fatalf("get = %v, want single newest v3", vs)
+	}
+	// Snapshot below the newest version sees the older one.
+	vs = mt.get([]byte("k"), 2)
+	if len(vs) != 1 || string(vs[0].val) != "v2" {
+		t.Fatalf("snapshot get = %v, want v2", vs)
+	}
+}
+
+func TestMemTableMergeChainCollection(t *testing.T) {
+	mt := newMemTable(1)
+	mt.add(entry{key: []byte("k"), val: []byte("base"), seq: 1, kind: kindPut})
+	mt.add(entry{key: []byte("k"), val: []byte("m1"), seq: 2, kind: kindMerge})
+	mt.add(entry{key: []byte("k"), val: []byte("m2"), seq: 3, kind: kindMerge})
+
+	vs := mt.get([]byte("k"), 100)
+	if len(vs) != 3 {
+		t.Fatalf("chain length = %d, want 3 (m2, m1, base)", len(vs))
+	}
+	if string(vs[0].val) != "m2" || string(vs[1].val) != "m1" || string(vs[2].val) != "base" {
+		t.Fatalf("chain = %v", vs)
+	}
+}
+
+func TestMemTableGetAbsent(t *testing.T) {
+	mt := newMemTable(1)
+	mt.add(entry{key: []byte("a"), seq: 1, kind: kindPut})
+	if vs := mt.get([]byte("b"), 10); len(vs) != 0 {
+		t.Fatalf("absent key returned %v", vs)
+	}
+}
+
+func TestMemTableRandomizedOrder(t *testing.T) {
+	mt := newMemTable(42)
+	rnd := rand.New(rand.NewSource(7))
+	n := 2000
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("key-%06d", rnd.Intn(100000))
+		mt.add(entry{key: []byte(k), seq: uint64(i + 1), kind: kindPut})
+	}
+	it := mt.iter()
+	it.seekFirst()
+	var prev *entry
+	count := 0
+	for ; it.valid(); it.next() {
+		cur := it.cur()
+		if prev != nil && compareEntries(prev, cur) >= 0 {
+			t.Fatalf("order violation: %q/%d then %q/%d", prev.key, prev.seq, cur.key, cur.seq)
+		}
+		cp := *cur
+		prev = &cp
+		count++
+	}
+	if count != n {
+		t.Fatalf("iterated %d entries, want %d", count, n)
+	}
+}
+
+func TestMemTableSeek(t *testing.T) {
+	mt := newMemTable(1)
+	for _, k := range []string{"a", "c", "e"} {
+		mt.add(entry{key: []byte(k), seq: 1, kind: kindPut})
+	}
+	it := mt.iter()
+	it.seek(&entry{key: []byte("b"), seq: ^uint64(0)})
+	if !it.valid() || !bytes.Equal(it.cur().key, []byte("c")) {
+		t.Fatalf("seek(b) landed on %v", it.n)
+	}
+	it.seek(&entry{key: []byte("z"), seq: ^uint64(0)})
+	if it.valid() {
+		t.Fatal("seek past end still valid")
+	}
+}

@@ -1,0 +1,213 @@
+package kvstore
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"sort"
+
+	"repro/internal/vfs"
+)
+
+// numLevels is the depth of the leveled LSM. L0 holds freshly flushed,
+// possibly overlapping tables newest-first; L1+ hold disjoint key ranges
+// sorted by smallest key.
+const numLevels = 7
+
+// version is an immutable snapshot of the table layout. The DB swaps in a
+// new version after every flush or compaction.
+type version struct {
+	levels [numLevels][]tableMeta
+}
+
+func (v *version) clone() *version {
+	nv := &version{}
+	for i := range v.levels {
+		nv.levels[i] = append([]tableMeta(nil), v.levels[i]...)
+	}
+	return nv
+}
+
+// tablesTotal counts tables across all levels.
+func (v *version) tablesTotal() int {
+	n := 0
+	for i := range v.levels {
+		n += len(v.levels[i])
+	}
+	return n
+}
+
+// levelBytes sums table sizes within a level.
+func (v *version) levelBytes(l int) int64 {
+	var n int64
+	for _, t := range v.levels[l] {
+		n += t.size
+	}
+	return n
+}
+
+// overlaps returns the tables of level l intersecting [smallest, largest].
+func (v *version) overlaps(l int, smallest, largest []byte) []tableMeta {
+	var out []tableMeta
+	for _, t := range v.levels[l] {
+		if bytes.Compare(t.largest, smallest) < 0 || bytes.Compare(t.smallest, largest) > 0 {
+			continue
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// sortLevel orders a non-L0 level by smallest key.
+func sortLevel(tables []tableMeta) {
+	sort.Slice(tables, func(i, j int) bool {
+		return bytes.Compare(tables[i].smallest, tables[j].smallest) < 0
+	})
+}
+
+// Manifest format: a single record
+// [magic u64][lastSeq u64][nextFile u64][walNum u64]
+// then per level: [count u32] then per table:
+// [num u64][size u64][entries u64][slen uvarint][smallest][llen uvarint][largest]
+// and a trailing crc32c over everything before it.
+const manifestMagic = 0x67656b6b6f6d6631
+
+const (
+	manifestName = "MANIFEST"
+	manifestTmp  = "MANIFEST.tmp"
+)
+
+type manifestState struct {
+	lastSeq  uint64
+	nextFile uint64
+	walNum   uint64
+	vers     *version
+}
+
+func encodeManifest(st manifestState) []byte {
+	var out []byte
+	var tmp [binary.MaxVarintLen64]byte
+	var hdr [32]byte
+	binary.LittleEndian.PutUint64(hdr[0:], manifestMagic)
+	binary.LittleEndian.PutUint64(hdr[8:], st.lastSeq)
+	binary.LittleEndian.PutUint64(hdr[16:], st.nextFile)
+	binary.LittleEndian.PutUint64(hdr[24:], st.walNum)
+	out = append(out, hdr[:]...)
+	for l := 0; l < numLevels; l++ {
+		var cnt [4]byte
+		binary.LittleEndian.PutUint32(cnt[:], uint32(len(st.vers.levels[l])))
+		out = append(out, cnt[:]...)
+		for _, t := range st.vers.levels[l] {
+			var fixed [24]byte
+			binary.LittleEndian.PutUint64(fixed[0:], t.num)
+			binary.LittleEndian.PutUint64(fixed[8:], uint64(t.size))
+			binary.LittleEndian.PutUint64(fixed[16:], uint64(t.entries))
+			out = append(out, fixed[:]...)
+			out = append(out, tmp[:binary.PutUvarint(tmp[:], uint64(len(t.smallest)))]...)
+			out = append(out, t.smallest...)
+			out = append(out, tmp[:binary.PutUvarint(tmp[:], uint64(len(t.largest)))]...)
+			out = append(out, t.largest...)
+		}
+	}
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.Checksum(out, castagnoli))
+	return append(out, crc[:]...)
+}
+
+func decodeManifest(b []byte) (manifestState, error) {
+	if len(b) < 36 {
+		return manifestState{}, fmt.Errorf("kvstore: manifest too short")
+	}
+	body, crc := b[:len(b)-4], binary.LittleEndian.Uint32(b[len(b)-4:])
+	if crc32.Checksum(body, castagnoli) != crc {
+		return manifestState{}, fmt.Errorf("kvstore: manifest checksum mismatch")
+	}
+	if binary.LittleEndian.Uint64(body[0:]) != manifestMagic {
+		return manifestState{}, fmt.Errorf("kvstore: manifest bad magic")
+	}
+	st := manifestState{
+		lastSeq:  binary.LittleEndian.Uint64(body[8:]),
+		nextFile: binary.LittleEndian.Uint64(body[16:]),
+		walNum:   binary.LittleEndian.Uint64(body[24:]),
+		vers:     &version{},
+	}
+	p := body[32:]
+	for l := 0; l < numLevels; l++ {
+		if len(p) < 4 {
+			return manifestState{}, fmt.Errorf("kvstore: manifest truncated at level %d", l)
+		}
+		count := binary.LittleEndian.Uint32(p)
+		p = p[4:]
+		for i := uint32(0); i < count; i++ {
+			if len(p) < 24 {
+				return manifestState{}, fmt.Errorf("kvstore: manifest truncated table")
+			}
+			t := tableMeta{
+				num:     binary.LittleEndian.Uint64(p[0:]),
+				size:    int64(binary.LittleEndian.Uint64(p[8:])),
+				entries: int(binary.LittleEndian.Uint64(p[16:])),
+			}
+			p = p[24:]
+			var err error
+			t.smallest, p, err = readLenPrefixed(p)
+			if err != nil {
+				return manifestState{}, err
+			}
+			t.largest, p, err = readLenPrefixed(p)
+			if err != nil {
+				return manifestState{}, err
+			}
+			// Copy out of the shared buffer.
+			t.smallest = append([]byte(nil), t.smallest...)
+			t.largest = append([]byte(nil), t.largest...)
+			st.vers.levels[l] = append(st.vers.levels[l], t)
+		}
+	}
+	return st, nil
+}
+
+// writeManifest atomically replaces the manifest via tmp-file rename.
+func writeManifest(fs vfs.FS, st manifestState) error {
+	f, err := fs.Create(manifestTmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Append(encodeManifest(st)); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return fs.Rename(manifestTmp, manifestName)
+}
+
+// readManifest loads the manifest; ok=false means no manifest exists yet.
+func readManifest(fs vfs.FS) (manifestState, bool, error) {
+	if !fs.Exists(manifestName) {
+		return manifestState{}, false, nil
+	}
+	f, err := fs.Open(manifestName)
+	if err != nil {
+		return manifestState{}, false, err
+	}
+	defer f.Close()
+	sz, err := f.Size()
+	if err != nil {
+		return manifestState{}, false, err
+	}
+	buf := make([]byte, sz)
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		return manifestState{}, false, err
+	}
+	st, err := decodeManifest(buf)
+	if err != nil {
+		return manifestState{}, false, err
+	}
+	return st, true, nil
+}

@@ -1,0 +1,85 @@
+package lustre
+
+import (
+	"testing"
+	"time"
+)
+
+func run(t *testing.T, nodes int, op MDOp, singleDir bool) Result {
+	t.Helper()
+	return RunMetadata(DefaultParams(), nodes, op, singleDir,
+		20*time.Millisecond, 80*time.Millisecond, 3)
+}
+
+// TestPlateauFlat is the defining Lustre behaviour in Fig. 2: adding
+// client nodes does not add metadata throughput because one MDS serves
+// everything.
+func TestPlateauFlat(t *testing.T) {
+	r8 := run(t, 8, MDOpCreate, true)
+	r128 := run(t, 128, MDOpCreate, true)
+	if r128.OpsPerSec > 1.25*r8.OpsPerSec {
+		t.Fatalf("Lustre 'scaled' from %.0f to %.0f ops/s; MDS should plateau",
+			r8.OpsPerSec, r128.OpsPerSec)
+	}
+}
+
+func TestSingleDirSlowerThanUnique(t *testing.T) {
+	single := run(t, 64, MDOpCreate, true)
+	unique := run(t, 64, MDOpCreate, false)
+	if single.OpsPerSec >= unique.OpsPerSec {
+		t.Fatalf("single dir (%.0f) not slower than unique dir (%.0f)",
+			single.OpsPerSec, unique.OpsPerSec)
+	}
+	// The gap comes from the directory lock: expect ≥ 20 % at the
+	// create plateau (paper Fig. 2a).
+	if single.OpsPerSec > 0.8*unique.OpsPerSec {
+		t.Fatalf("single/unique gap too small: %.0f vs %.0f", single.OpsPerSec, unique.OpsPerSec)
+	}
+}
+
+func TestPlateauLevels(t *testing.T) {
+	// Calibration targets from the paper's 512-node ratios: creates
+	// ≈ 33 K/s (single dir), stats ≈ 122 K/s, removes ≈ 49 K/s. ±30 %.
+	checks := []struct {
+		op   MDOp
+		want float64
+	}{
+		{MDOpCreate, 33e3},
+		{MDOpStat, 122e3},
+		{MDOpRemove, 49e3},
+	}
+	for _, c := range checks {
+		got := run(t, 128, c.op, true).OpsPerSec
+		if got < c.want*0.7 || got > c.want*1.3 {
+			t.Errorf("op %v plateau = %.0f, want %.0f ±30%%", c.op, got, c.want)
+		}
+	}
+}
+
+func TestStatCheapestOperation(t *testing.T) {
+	stat := run(t, 32, MDOpStat, true)
+	create := run(t, 32, MDOpCreate, true)
+	remove := run(t, 32, MDOpRemove, true)
+	if stat.OpsPerSec <= create.OpsPerSec || stat.OpsPerSec <= remove.OpsPerSec {
+		t.Fatalf("stat (%.0f) should outpace create (%.0f) and remove (%.0f)",
+			stat.OpsPerSec, create.OpsPerSec, remove.OpsPerSec)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := run(t, 16, MDOpCreate, true)
+	b := run(t, 16, MDOpCreate, true)
+	if a != b {
+		t.Fatalf("same seed diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestLatencyGrowsWithLoad(t *testing.T) {
+	// More closed-loop clients against the same MDS → deeper queues →
+	// higher latency.
+	small := run(t, 2, MDOpCreate, true)
+	big := run(t, 64, MDOpCreate, true)
+	if big.MeanLatency <= small.MeanLatency {
+		t.Fatalf("latency did not grow with load: %v vs %v", small.MeanLatency, big.MeanLatency)
+	}
+}

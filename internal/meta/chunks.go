@@ -1,0 +1,96 @@
+package meta
+
+// DefaultChunkSize is the paper's internal chunk size: 512 KiB.
+const DefaultChunkSize = 512 * 1024
+
+// ChunkID identifies one fixed-size chunk of a file. Chunk 0 covers bytes
+// [0, ChunkSize), chunk 1 covers [ChunkSize, 2*ChunkSize), and so on.
+type ChunkID uint64
+
+// ChunkRange describes the chunk-aligned decomposition of a byte range
+// [Offset, Offset+Length). Clients use it to split a read or write into
+// per-chunk RPCs; daemons use it to locate chunk files.
+type ChunkRange struct {
+	// First and Last are the inclusive chunk IDs touched by the range.
+	First, Last ChunkID
+	// FirstOffset is the byte offset inside the first chunk at which the
+	// range starts.
+	FirstOffset int64
+	// LastLen is the number of bytes of the last chunk covered by the
+	// range (1..chunkSize). For single-chunk ranges it is the range length
+	// plus FirstOffset capped at chunk end minus FirstOffset; see Slice.
+	LastLen int64
+}
+
+// Chunks computes the chunk decomposition of [offset, offset+length) for
+// the given chunk size. Length must be > 0 and offset >= 0; chunkSize must
+// be > 0. The zero-length case is the caller's fast path (no RPCs).
+func Chunks(offset, length, chunkSize int64) ChunkRange {
+	if length <= 0 || offset < 0 || chunkSize <= 0 {
+		panic("meta: Chunks requires offset >= 0, length > 0, chunkSize > 0")
+	}
+	end := offset + length // exclusive
+	first := offset / chunkSize
+	last := (end - 1) / chunkSize
+	return ChunkRange{
+		First:       ChunkID(first),
+		Last:        ChunkID(last),
+		FirstOffset: offset - first*chunkSize,
+		LastLen:     end - last*chunkSize,
+	}
+}
+
+// Count returns the number of chunks in the range.
+func (r ChunkRange) Count() int64 { return int64(r.Last-r.First) + 1 }
+
+// ChunkSlice describes the byte span of one chunk within a larger I/O
+// buffer: buffer bytes [BufOff, BufOff+Len) map to chunk bytes
+// [ChunkOff, ChunkOff+Len).
+type ChunkSlice struct {
+	// ID is the chunk the slice belongs to.
+	ID ChunkID
+	// ChunkOff is the offset inside the chunk file.
+	ChunkOff int64
+	// BufOff is the offset inside the caller's I/O buffer.
+	BufOff int64
+	// Len is the span length in bytes.
+	Len int64
+}
+
+// Slices enumerates the per-chunk spans of [offset, offset+length). The
+// result is ordered by chunk ID and partitions the buffer exactly:
+// the BufOff/Len pairs are contiguous and sum to length.
+func Slices(offset, length, chunkSize int64) []ChunkSlice {
+	if length == 0 {
+		return nil
+	}
+	r := Chunks(offset, length, chunkSize)
+	out := make([]ChunkSlice, 0, r.Count())
+	bufOff := int64(0)
+	for id := r.First; ; id++ {
+		chunkOff := int64(0)
+		if id == r.First {
+			chunkOff = r.FirstOffset
+		}
+		spanEnd := chunkSize
+		if id == r.Last {
+			spanEnd = r.LastLen
+		}
+		l := spanEnd - chunkOff
+		out = append(out, ChunkSlice{ID: id, ChunkOff: chunkOff, BufOff: bufOff, Len: l})
+		bufOff += l
+		if id == r.Last {
+			break
+		}
+	}
+	return out
+}
+
+// ChunksForSize returns the number of chunk files a file of the given size
+// occupies; size 0 occupies none.
+func ChunksForSize(size, chunkSize int64) int64 {
+	if size <= 0 {
+		return 0
+	}
+	return (size + chunkSize - 1) / chunkSize
+}

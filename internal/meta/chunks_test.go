@@ -1,0 +1,118 @@
+package meta
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestChunksBasic(t *testing.T) {
+	const cs = 512 * 1024
+	tests := []struct {
+		name           string
+		offset, length int64
+		first, last    ChunkID
+		firstOff       int64
+		lastLen        int64
+	}{
+		{"whole first chunk", 0, cs, 0, 0, 0, cs},
+		{"one byte at zero", 0, 1, 0, 0, 0, 1},
+		{"one byte at chunk end", cs - 1, 1, 0, 0, cs - 1, cs},
+		{"one byte at chunk start", cs, 1, 1, 1, 0, 1},
+		{"straddle two chunks", cs - 10, 20, 0, 1, cs - 10, 10},
+		{"three chunks", cs / 2, 2 * cs, 0, 2, cs / 2, cs / 2},
+		{"aligned two chunks", cs, 2 * cs, 1, 2, 0, cs},
+	}
+	for _, tt := range tests {
+		r := Chunks(tt.offset, tt.length, cs)
+		if r.First != tt.first || r.Last != tt.last || r.FirstOffset != tt.firstOff || r.LastLen != tt.lastLen {
+			t.Errorf("%s: Chunks(%d,%d) = %+v, want first=%d last=%d firstOff=%d lastLen=%d",
+				tt.name, tt.offset, tt.length, r, tt.first, tt.last, tt.firstOff, tt.lastLen)
+		}
+	}
+}
+
+func TestChunksPanicsOnBadArgs(t *testing.T) {
+	for _, args := range [][3]int64{{-1, 1, 4}, {0, 0, 4}, {0, -5, 4}, {0, 1, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Chunks(%v) did not panic", args)
+				}
+			}()
+			Chunks(args[0], args[1], args[2])
+		}()
+	}
+}
+
+// TestSlicesPartitionProperty checks the central invariant the client I/O
+// path relies on: Slices partitions the byte range exactly, in order, with
+// contiguous buffer offsets, chunk-local spans inside chunk bounds, and
+// total length equal to the request.
+func TestSlicesPartitionProperty(t *testing.T) {
+	f := func(off uint32, length uint16, csExp uint8) bool {
+		chunkSize := int64(1) << (3 + csExp%12) // 8 B .. 16 KiB
+		offset := int64(off % (1 << 20))
+		l := int64(length)%(4*chunkSize) + 1
+		slices := Slices(offset, l, chunkSize)
+		if len(slices) == 0 {
+			return false
+		}
+		bufOff := int64(0)
+		pos := offset
+		for i, s := range slices {
+			if s.BufOff != bufOff {
+				return false
+			}
+			if s.Len <= 0 || s.Len > chunkSize {
+				return false
+			}
+			if s.ChunkOff < 0 || s.ChunkOff+s.Len > chunkSize {
+				return false
+			}
+			// Global file offset covered by this slice must continue pos.
+			if int64(s.ID)*chunkSize+s.ChunkOff != pos {
+				return false
+			}
+			if i > 0 && s.ID != slices[i-1].ID+1 {
+				return false
+			}
+			bufOff += s.Len
+			pos += s.Len
+		}
+		return bufOff == l && pos == offset+l
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSlicesZeroLength(t *testing.T) {
+	if s := Slices(100, 0, 512); s != nil {
+		t.Fatalf("Slices(_, 0, _) = %v, want nil", s)
+	}
+}
+
+func TestChunksForSize(t *testing.T) {
+	const cs = 512
+	tests := []struct {
+		size, want int64
+	}{
+		{0, 0}, {1, 1}, {511, 1}, {512, 1}, {513, 2}, {1024, 2}, {1025, 3}, {-5, 0},
+	}
+	for _, tt := range tests {
+		if got := ChunksForSize(tt.size, cs); got != tt.want {
+			t.Errorf("ChunksForSize(%d) = %d, want %d", tt.size, got, tt.want)
+		}
+	}
+}
+
+func TestCountMatchesSlices(t *testing.T) {
+	f := func(off uint16, length uint16) bool {
+		const cs = 256
+		o, l := int64(off), int64(length)+1
+		return Chunks(o, l, cs).Count() == int64(len(Slices(o, l, cs)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

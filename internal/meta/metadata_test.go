@@ -1,0 +1,56 @@
+package meta
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMetadataRoundTrip(t *testing.T) {
+	m := Metadata{Mode: ModeRegular, Size: 123456789, CTimeNS: 42, MTimeNS: 43}
+	got, err := DecodeMetadata(m.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != m {
+		t.Fatalf("round trip = %+v, want %+v", got, m)
+	}
+}
+
+func TestMetadataRoundTripProperty(t *testing.T) {
+	f := func(mode bool, size, ct, mt int64) bool {
+		m := Metadata{Mode: ModeRegular, Size: size, CTimeNS: ct, MTimeNS: mt}
+		if mode {
+			m.Mode = ModeDir
+		}
+		got, err := DecodeMetadata(m.Encode())
+		return err == nil && got == m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeMetadataRejectsBadLength(t *testing.T) {
+	for _, n := range []int{0, 1, 24, 26, 100} {
+		if _, err := DecodeMetadata(make([]byte, n)); err == nil {
+			t.Errorf("DecodeMetadata accepted %d bytes", n)
+		}
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if ModeRegular.String() != "file" || ModeDir.String() != "dir" {
+		t.Fatalf("unexpected mode strings: %q %q", ModeRegular, ModeDir)
+	}
+	if Mode(9).String() == "" {
+		t.Fatal("unknown mode must still format")
+	}
+}
+
+func TestIsDir(t *testing.T) {
+	d := Metadata{Mode: ModeDir}
+	f := Metadata{Mode: ModeRegular}
+	if !d.IsDir() || f.IsDir() {
+		t.Fatal("IsDir misclassifies")
+	}
+}

@@ -1,0 +1,140 @@
+// Package meta defines GekkoFS metadata: path handling for the flat
+// namespace, the on-wire/on-disk metadata record, and the chunk arithmetic
+// shared by clients and daemons.
+//
+// GekkoFS keeps a flat namespace: the key-value store maps an absolute,
+// normalized path directly to its metadata record. There are no directory
+// entry lists; a directory listing is reconstructed by scanning keys whose
+// parent equals the listed directory (see internal/daemon).
+package meta
+
+import (
+	"errors"
+	"strings"
+)
+
+// Root is the canonical root path of a GekkoFS namespace.
+const Root = "/"
+
+// Path errors returned by Clean and related helpers.
+var (
+	// ErrRelativePath reports a path that does not start with '/'.
+	// GekkoFS has no per-process working directory; the client library
+	// resolves everything to absolute paths before forwarding.
+	ErrRelativePath = errors.New("meta: path is not absolute")
+	// ErrEmptyPath reports an empty path string.
+	ErrEmptyPath = errors.New("meta: empty path")
+	// ErrBadComponent reports a path with "." or ".." components, which
+	// GekkoFS rejects at the interposition boundary (the paper's shim
+	// normalizes them against the client's CWD before forwarding; our
+	// Go-native client requires callers to pass normalized paths).
+	ErrBadComponent = errors.New(`meta: path contains "." or ".." component`)
+)
+
+// Clean normalizes p into the canonical form used as the KV-store key:
+// absolute, no duplicate slashes, no trailing slash (except the root
+// itself), and no "." or ".." components. It returns an error if the path
+// is relative, empty, or contains dot components.
+func Clean(p string) (string, error) {
+	if p == "" {
+		return "", ErrEmptyPath
+	}
+	if p[0] != '/' {
+		return "", ErrRelativePath
+	}
+	// Fast path: already canonical.
+	if isCanonical(p) {
+		return p, nil
+	}
+	parts := strings.Split(p, "/")
+	out := make([]string, 0, len(parts))
+	for _, c := range parts {
+		switch c {
+		case "":
+			// duplicate or trailing slash
+		case ".", "..":
+			return "", ErrBadComponent
+		default:
+			out = append(out, c)
+		}
+	}
+	if len(out) == 0 {
+		return Root, nil
+	}
+	return "/" + strings.Join(out, "/"), nil
+}
+
+// isCanonical reports whether p is already in canonical form, so Clean can
+// avoid allocating in the common case. It scans components in place.
+func isCanonical(p string) bool {
+	if p == Root {
+		return true
+	}
+	if p == "" || p[0] != '/' || p[len(p)-1] == '/' {
+		return false
+	}
+	start := 1 // start of current component
+	for i := 1; i <= len(p); i++ {
+		if i == len(p) || p[i] == '/' {
+			comp := p[start:i]
+			if comp == "" || comp == "." || comp == ".." {
+				return false
+			}
+			start = i + 1
+		}
+	}
+	return true
+}
+
+// Parent returns the parent directory of a canonical path. The parent of
+// the root is the root itself.
+func Parent(p string) string {
+	if p == Root {
+		return Root
+	}
+	i := strings.LastIndexByte(p, '/')
+	if i <= 0 {
+		return Root
+	}
+	return p[:i]
+}
+
+// Base returns the final component of a canonical path. The base of the
+// root is "/".
+func Base(p string) string {
+	if p == Root {
+		return Root
+	}
+	i := strings.LastIndexByte(p, '/')
+	return p[i+1:]
+}
+
+// IsChildOf reports whether canonical path p is a direct child of the
+// canonical directory dir (depth exactly one below dir). This is the
+// predicate daemons evaluate when scanning their local KV store to answer
+// a readdir request.
+func IsChildOf(p, dir string) bool {
+	if p == Root {
+		return false
+	}
+	var prefixLen int
+	if dir == Root {
+		prefixLen = 1
+	} else {
+		if len(p) <= len(dir)+1 || p[:len(dir)] != dir || p[len(dir)] != '/' {
+			return false
+		}
+		prefixLen = len(dir) + 1
+	}
+	rest := p[prefixLen:]
+	return rest != "" && !strings.ContainsRune(rest, '/')
+}
+
+// Depth returns the number of components in a canonical path; the root has
+// depth zero.
+func Depth(p string) int {
+	if p == Root {
+		return 0
+	}
+	return strings.Count(p, "/")
+}

@@ -1,0 +1,144 @@
+package meta
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestClean(t *testing.T) {
+	tests := []struct {
+		in      string
+		want    string
+		wantErr error
+	}{
+		{"/", "/", nil},
+		{"//", "/", nil},
+		{"///", "/", nil},
+		{"/a", "/a", nil},
+		{"/a/", "/a", nil},
+		{"/a//b", "/a/b", nil},
+		{"//a///b//", "/a/b", nil},
+		{"/a/b/c", "/a/b/c", nil},
+		{"/file.txt", "/file.txt", nil},
+		{"/a b/c d", "/a b/c d", nil},
+		{"", "", ErrEmptyPath},
+		{"a/b", "", ErrRelativePath},
+		{"./a", "", ErrRelativePath},
+		{"/a/./b", "", ErrBadComponent},
+		{"/a/../b", "", ErrBadComponent},
+		{"/..", "", ErrBadComponent},
+		{"/.", "", ErrBadComponent},
+	}
+	for _, tt := range tests {
+		got, err := Clean(tt.in)
+		if err != tt.wantErr {
+			t.Errorf("Clean(%q) error = %v, want %v", tt.in, err, tt.wantErr)
+			continue
+		}
+		if got != tt.want {
+			t.Errorf("Clean(%q) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestCleanIdempotent(t *testing.T) {
+	// Property: Clean(Clean(p)) == Clean(p) for any p that cleans.
+	f := func(parts []string) bool {
+		p := "/" + strings.Join(parts, "/")
+		c1, err := Clean(p)
+		if err != nil {
+			return true // rejected input; nothing to check
+		}
+		c2, err := Clean(c1)
+		return err == nil && c1 == c2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCleanCanonicalFastPath(t *testing.T) {
+	// Canonical inputs must come back unchanged (and ideally without
+	// reallocation; we check value equality which is the observable part).
+	for _, p := range []string{"/", "/a", "/a/b", "/x1/y2/z3", "/with space/x"} {
+		got, err := Clean(p)
+		if err != nil || got != p {
+			t.Errorf("Clean(%q) = %q, %v; want unchanged", p, got, err)
+		}
+	}
+}
+
+func TestParentBase(t *testing.T) {
+	tests := []struct {
+		p, parent, base string
+	}{
+		{"/", "/", "/"},
+		{"/a", "/", "a"},
+		{"/a/b", "/a", "b"},
+		{"/a/b/c", "/a/b", "c"},
+	}
+	for _, tt := range tests {
+		if got := Parent(tt.p); got != tt.parent {
+			t.Errorf("Parent(%q) = %q, want %q", tt.p, got, tt.parent)
+		}
+		if got := Base(tt.p); got != tt.base {
+			t.Errorf("Base(%q) = %q, want %q", tt.p, got, tt.base)
+		}
+	}
+}
+
+func TestIsChildOf(t *testing.T) {
+	tests := []struct {
+		p, dir string
+		want   bool
+	}{
+		{"/a", "/", true},
+		{"/a/b", "/", false},
+		{"/a/b", "/a", true},
+		{"/a/b/c", "/a", false},
+		{"/a/b/c", "/a/b", true},
+		{"/ab", "/a", false}, // prefix but not component boundary
+		{"/a", "/a", false},
+		{"/", "/", false},
+		{"/a/bb", "/a/b", false},
+	}
+	for _, tt := range tests {
+		if got := IsChildOf(tt.p, tt.dir); got != tt.want {
+			t.Errorf("IsChildOf(%q, %q) = %v, want %v", tt.p, tt.dir, got, tt.want)
+		}
+	}
+}
+
+func TestIsChildOfConsistentWithParent(t *testing.T) {
+	// Property: for canonical p != "/", IsChildOf(p, Parent(p)) is true and
+	// IsChildOf(p, other) is false for any other canonical dir.
+	f := func(parts []string) bool {
+		p := "/" + strings.Join(parts, "/")
+		c, err := Clean(p)
+		if err != nil || c == Root {
+			return true
+		}
+		return IsChildOf(c, Parent(c))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDepth(t *testing.T) {
+	tests := []struct {
+		p    string
+		want int
+	}{
+		{"/", 0},
+		{"/a", 1},
+		{"/a/b", 2},
+		{"/a/b/c", 3},
+	}
+	for _, tt := range tests {
+		if got := Depth(tt.p); got != tt.want {
+			t.Errorf("Depth(%q) = %d, want %d", tt.p, got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,184 @@
+// Package proto defines the client↔daemon protocol: RPC operation IDs,
+// request/response encodings, and the file system error space. Both
+// internal/client and internal/daemon speak exactly this vocabulary, the
+// Go analogue of GekkoFS's Mercury RPC definitions.
+package proto
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/meta"
+	"repro/internal/rpc"
+)
+
+// RPC operations. Each corresponds to one registered Mercury RPC in the
+// released GekkoFS.
+const (
+	// OpPing checks daemon liveness during deployment.
+	OpPing rpc.Op = iota + 1
+	// OpCreate inserts a metadata record (file or directory) if absent.
+	OpCreate
+	// OpStat fetches a path's metadata record.
+	OpStat
+	// OpRemoveMeta deletes a path's metadata record, returning the size
+	// it had so the client knows whether chunks must be collected.
+	OpRemoveMeta
+	// OpUpdateSize grows (merge) or sets (truncate) a file's size.
+	OpUpdateSize
+	// OpWriteChunks stores spans of one or more chunks held by the target
+	// daemon; data travels in the bulk region (daemon pulls).
+	OpWriteChunks
+	// OpReadChunks fetches spans of chunks; data returns through the bulk
+	// region (daemon pushes).
+	OpReadChunks
+	// OpRemoveChunks deletes all chunks of a path on the target daemon.
+	OpRemoveChunks
+	// OpTruncateChunks discards chunk data beyond a new size on the
+	// target daemon.
+	OpTruncateChunks
+	// OpReadDir scans the daemon-local KV store for children of a
+	// directory.
+	OpReadDir
+	// OpStats returns daemon operation counters (tooling/tests).
+	OpStats
+)
+
+// Errno is the wire representation of an expected file system error.
+// Unexpected failures travel as rpc.RemoteError instead.
+type Errno uint16
+
+// Wire error codes.
+const (
+	OK Errno = iota
+	ErrnoNotExist
+	ErrnoExist
+	ErrnoIsDir
+	ErrnoNotDir
+	ErrnoNotEmpty
+	ErrnoInval
+)
+
+// File system errors shared by daemon, client and the public facade.
+var (
+	// ErrNotExist reports a missing path.
+	ErrNotExist = errors.New("gekkofs: no such file or directory")
+	// ErrExist reports a create of an existing path.
+	ErrExist = errors.New("gekkofs: file exists")
+	// ErrIsDir reports a file operation on a directory.
+	ErrIsDir = errors.New("gekkofs: is a directory")
+	// ErrNotDir reports a directory operation on a file.
+	ErrNotDir = errors.New("gekkofs: not a directory")
+	// ErrNotEmpty reports removal of a non-empty directory.
+	ErrNotEmpty = errors.New("gekkofs: directory not empty")
+	// ErrInval reports an invalid argument.
+	ErrInval = errors.New("gekkofs: invalid argument")
+	// ErrNotSupported reports POSIX functionality GekkoFS deliberately
+	// omits: rename/move, links, and permission management (paper
+	// §III-A).
+	ErrNotSupported = errors.New("gekkofs: operation not supported")
+)
+
+var errnoToErr = map[Errno]error{
+	ErrnoNotExist: ErrNotExist,
+	ErrnoExist:    ErrExist,
+	ErrnoIsDir:    ErrIsDir,
+	ErrnoNotDir:   ErrNotDir,
+	ErrnoNotEmpty: ErrNotEmpty,
+	ErrnoInval:    ErrInval,
+}
+
+// Err converts a wire code to its Go error; OK maps to nil.
+func (e Errno) Err() error {
+	if e == OK {
+		return nil
+	}
+	if err, ok := errnoToErr[e]; ok {
+		return err
+	}
+	return fmt.Errorf("gekkofs: errno %d", uint16(e))
+}
+
+// ErrnoOf maps a Go error to its wire code; nil maps to OK. Unknown
+// errors map to ErrnoInval (daemons convert unexpected errors to
+// rpc.RemoteError before this is consulted).
+func ErrnoOf(err error) Errno {
+	switch {
+	case err == nil:
+		return OK
+	case errors.Is(err, ErrNotExist):
+		return ErrnoNotExist
+	case errors.Is(err, ErrExist):
+		return ErrnoExist
+	case errors.Is(err, ErrIsDir):
+		return ErrnoIsDir
+	case errors.Is(err, ErrNotDir):
+		return ErrnoNotDir
+	case errors.Is(err, ErrNotEmpty):
+		return ErrnoNotEmpty
+	default:
+		return ErrnoInval
+	}
+}
+
+// ChunkSpan names one contiguous byte range of one chunk inside a
+// write/read RPC. Spans of a single RPC address chunks owned by the same
+// daemon; their data is concatenated in span order inside the bulk
+// region.
+type ChunkSpan struct {
+	// ID is the chunk.
+	ID meta.ChunkID
+	// Off is the offset inside the chunk file.
+	Off int64
+	// Len is the span length in bytes.
+	Len int64
+}
+
+// EncodeSpans appends spans to an encoder: [u32 count] + triples.
+func EncodeSpans(e *rpc.Enc, spans []ChunkSpan) {
+	e.U32(uint32(len(spans)))
+	for _, s := range spans {
+		e.U64(uint64(s.ID)).I64(s.Off).I64(s.Len)
+	}
+}
+
+// spanWireBytes is the encoded size of one span triple.
+const spanWireBytes = 24
+
+// DecodeSpans reads what EncodeSpans wrote. The claimed count is
+// validated against the remaining buffer before any allocation, and
+// spans with negative offsets or lengths are rejected — length fields on
+// the wire must never size allocations unchecked.
+func DecodeSpans(d *rpc.Dec) []ChunkSpan {
+	n := d.U32()
+	if d.Err() != nil {
+		return nil
+	}
+	if int64(n)*spanWireBytes > int64(d.Remaining()) {
+		d.Corrupt()
+		return nil
+	}
+	spans := make([]ChunkSpan, 0, n)
+	for i := uint32(0); i < n; i++ {
+		s := ChunkSpan{
+			ID:  meta.ChunkID(d.U64()),
+			Off: d.I64(),
+			Len: d.I64(),
+		}
+		if s.Off < 0 || s.Len < 0 {
+			d.Corrupt()
+			return nil
+		}
+		spans = append(spans, s)
+	}
+	return spans
+}
+
+// SpanBytes sums the lengths of spans (the expected bulk region size).
+func SpanBytes(spans []ChunkSpan) int64 {
+	var n int64
+	for _, s := range spans {
+		n += s.Len
+	}
+	return n
+}

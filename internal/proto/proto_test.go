@@ -1,0 +1,75 @@
+package proto
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/meta"
+	"repro/internal/rpc"
+)
+
+func TestErrnoRoundTrip(t *testing.T) {
+	for _, err := range []error{ErrNotExist, ErrExist, ErrIsDir, ErrNotDir, ErrNotEmpty} {
+		if got := ErrnoOf(err).Err(); !errors.Is(got, err) {
+			t.Errorf("round trip of %v = %v", err, got)
+		}
+	}
+	if ErrnoOf(nil) != OK {
+		t.Error("ErrnoOf(nil) != OK")
+	}
+	if OK.Err() != nil {
+		t.Error("OK.Err() != nil")
+	}
+	if Errno(999).Err() == nil {
+		t.Error("unknown errno must map to an error")
+	}
+	if ErrnoOf(errors.New("weird")) != ErrnoInval {
+		t.Error("unknown error must map to ErrnoInval")
+	}
+}
+
+func TestSpanCodecProperty(t *testing.T) {
+	f := func(ids []uint32, offs []uint16, lens []uint16) bool {
+		n := len(ids)
+		if len(offs) < n {
+			n = len(offs)
+		}
+		if len(lens) < n {
+			n = len(lens)
+		}
+		spans := make([]ChunkSpan, n)
+		var want int64
+		for i := 0; i < n; i++ {
+			spans[i] = ChunkSpan{ID: meta.ChunkID(ids[i]), Off: int64(offs[i]), Len: int64(lens[i])}
+			want += int64(lens[i])
+		}
+		e := rpc.NewEnc(16)
+		EncodeSpans(e, spans)
+		d := rpc.NewDec(e.Bytes())
+		got := DecodeSpans(d)
+		if d.Done() != nil || len(got) != n {
+			return false
+		}
+		for i := range got {
+			if got[i] != spans[i] {
+				return false
+			}
+		}
+		return SpanBytes(got) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeSpansTruncated(t *testing.T) {
+	e := rpc.NewEnc(16)
+	EncodeSpans(e, []ChunkSpan{{ID: 1, Off: 2, Len: 3}})
+	full := e.Bytes()
+	d := rpc.NewDec(full[:len(full)-4])
+	DecodeSpans(d)
+	if d.Err() == nil {
+		t.Fatal("truncated span list decoded cleanly")
+	}
+}

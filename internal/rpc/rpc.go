@@ -1,0 +1,187 @@
+// Package rpc is the communication substrate standing in for Mercury with
+// the Margo wrappers (paper §III-B): operation-keyed handlers executed on
+// a bounded pool (Margo's Argobots execution streams), opaque binary
+// payloads, and a bulk-transfer interface through which a daemon pulls
+// write data from — or pushes read data into — a buffer the client
+// exposed, the role RDMA plays on the paper's Omni-Path fabric.
+//
+// Transports live in internal/transport: an in-process one whose bulk
+// transfers are zero-copy (the "RDMA" of the in-process cluster) and a TCP
+// one that inlines bulk bytes into the frame.
+package rpc
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Op identifies a registered RPC operation, like a Mercury RPC id.
+type Op uint16
+
+// Bulk is the server-side view of the client's exposed buffer region for
+// one call.
+type Bulk interface {
+	// Pull copies the client's buffer into p (an RDMA get). It fails if p
+	// is longer than the exposed region.
+	Pull(p []byte) error
+	// Push copies p into the client's buffer (an RDMA put). It fails if p
+	// is longer than the exposed region.
+	Push(p []byte) error
+	// Len returns the size of the exposed region.
+	Len() int
+}
+
+// Handler serves one operation. req is the request payload; the returned
+// bytes form the response payload. Returned errors travel to the client as
+// a RemoteError.
+type Handler func(req []byte, bulk Bulk) ([]byte, error)
+
+// RemoteError is a handler failure surfaced at the caller.
+type RemoteError struct {
+	// Msg is the handler error text.
+	Msg string
+}
+
+// Error implements error.
+func (e *RemoteError) Error() string { return "rpc: remote: " + e.Msg }
+
+// Errors returned by the framework itself.
+var (
+	// ErrUnknownOp reports a call to an unregistered operation.
+	ErrUnknownOp = errors.New("rpc: unknown operation")
+	// ErrServerClosed reports a call into a stopped server.
+	ErrServerClosed = errors.New("rpc: server closed")
+)
+
+// BulkDir declares how the server will access the exposed buffer,
+// mirroring Mercury's bulk access flags. Transports that must move the
+// buffer over a wire use it to ship bytes in only the needed direction.
+type BulkDir uint8
+
+const (
+	// BulkNone exposes no buffer.
+	BulkNone BulkDir = iota
+	// BulkIn lets the server Pull from the buffer (client → server, the
+	// write path).
+	BulkIn
+	// BulkOut lets the server Push into the buffer (server → client, the
+	// read path).
+	BulkOut
+)
+
+// Conn is a client's connection to one server. Implementations are safe
+// for concurrent use; calls block until the response arrives.
+type Conn interface {
+	// Call invokes op with payload. bulk, when non-nil, is the local
+	// buffer region exposed to the server for Pull (dir=BulkIn) or Push
+	// (dir=BulkOut) during the call.
+	Call(op Op, payload, bulk []byte, dir BulkDir) ([]byte, error)
+	// Close releases the connection.
+	Close() error
+}
+
+// ServerStats counts server-side activity.
+type ServerStats struct {
+	// Requests is the number of handled calls.
+	Requests uint64
+	// Errors is the number of calls whose handler returned an error.
+	Errors uint64
+}
+
+// Server dispatches operations to registered handlers on a bounded
+// handler pool.
+type Server struct {
+	mu       sync.RWMutex
+	handlers map[Op]Handler
+	closed   bool
+
+	pool chan struct{}
+
+	requests atomic.Uint64
+	errors   atomic.Uint64
+}
+
+// NewServer returns a server whose handler pool admits poolSize concurrent
+// calls (Margo handler execution streams). poolSize <= 0 selects 16, a
+// typical daemon configuration on a two-socket node.
+func NewServer(poolSize int) *Server {
+	if poolSize <= 0 {
+		poolSize = 16
+	}
+	return &Server{
+		handlers: make(map[Op]Handler),
+		pool:     make(chan struct{}, poolSize),
+	}
+}
+
+// Register installs the handler for op, replacing any previous one.
+// Registration after serving starts is allowed but unusual.
+func (s *Server) Register(op Op, h Handler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.handlers[op] = h
+}
+
+// Dispatch runs the handler for op, blocking while the pool is full.
+// Transports call it once per decoded request.
+func (s *Server) Dispatch(op Op, payload []byte, bulk Bulk) ([]byte, error) {
+	s.mu.RLock()
+	h, ok := s.handlers[op]
+	closed := s.closed
+	s.mu.RUnlock()
+	if closed {
+		return nil, ErrServerClosed
+	}
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownOp, op)
+	}
+	s.pool <- struct{}{}
+	defer func() { <-s.pool }()
+	s.requests.Add(1)
+	resp, err := h(payload, bulk)
+	if err != nil {
+		s.errors.Add(1)
+	}
+	return resp, err
+}
+
+// Close marks the server closed; subsequent dispatches fail.
+func (s *Server) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+}
+
+// Stats returns a snapshot of the server counters.
+func (s *Server) Stats() ServerStats {
+	return ServerStats{Requests: s.requests.Load(), Errors: s.errors.Load()}
+}
+
+// SliceBulk adapts a local byte slice to the Bulk interface. The
+// in-process transport hands the client's buffer to the handler directly,
+// making Pull and Push zero-copy in spirit: the copy is the single memcpy
+// RDMA itself would perform.
+type SliceBulk []byte
+
+// Pull implements Bulk.
+func (b SliceBulk) Pull(p []byte) error {
+	if len(p) > len(b) {
+		return fmt.Errorf("rpc: bulk pull of %d bytes exceeds exposed region %d", len(p), len(b))
+	}
+	copy(p, b)
+	return nil
+}
+
+// Push implements Bulk.
+func (b SliceBulk) Push(p []byte) error {
+	if len(p) > len(b) {
+		return fmt.Errorf("rpc: bulk push of %d bytes exceeds exposed region %d", len(p), len(b))
+	}
+	copy(b, p)
+	return nil
+}
+
+// Len implements Bulk.
+func (b SliceBulk) Len() int { return len(b) }

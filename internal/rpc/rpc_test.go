@@ -1,0 +1,116 @@
+package rpc
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestServerDispatch(t *testing.T) {
+	s := NewServer(4)
+	s.Register(1, func(req []byte, _ Bulk) ([]byte, error) {
+		return append([]byte("echo:"), req...), nil
+	})
+	resp, err := s.Dispatch(1, []byte("hi"), nil)
+	if err != nil || string(resp) != "echo:hi" {
+		t.Fatalf("Dispatch = %q, %v", resp, err)
+	}
+	if st := s.Stats(); st.Requests != 1 || st.Errors != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestServerUnknownOp(t *testing.T) {
+	s := NewServer(1)
+	if _, err := s.Dispatch(9, nil, nil); !errors.Is(err, ErrUnknownOp) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestServerClosed(t *testing.T) {
+	s := NewServer(1)
+	s.Register(1, func([]byte, Bulk) ([]byte, error) { return nil, nil })
+	s.Close()
+	if _, err := s.Dispatch(1, nil, nil); !errors.Is(err, ErrServerClosed) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestServerErrorCounting(t *testing.T) {
+	s := NewServer(1)
+	boom := errors.New("boom")
+	s.Register(2, func([]byte, Bulk) ([]byte, error) { return nil, boom })
+	if _, err := s.Dispatch(2, nil, nil); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if st := s.Stats(); st.Errors != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestHandlerPoolLimit verifies the Margo-style bounded execution pool:
+// no more than poolSize handlers run at once.
+func TestHandlerPoolLimit(t *testing.T) {
+	const poolSize = 3
+	s := NewServer(poolSize)
+	var inFlight, maxSeen atomic.Int32
+	s.Register(1, func([]byte, Bulk) ([]byte, error) {
+		n := inFlight.Add(1)
+		for {
+			m := maxSeen.Load()
+			if n <= m || maxSeen.CompareAndSwap(m, n) {
+				break
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+		inFlight.Add(-1)
+		return nil, nil
+	})
+	var wg sync.WaitGroup
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := s.Dispatch(1, nil, nil); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if m := maxSeen.Load(); m > poolSize {
+		t.Fatalf("observed %d concurrent handlers, pool is %d", m, poolSize)
+	}
+}
+
+func TestSliceBulk(t *testing.T) {
+	buf := []byte("0123456789")
+	b := SliceBulk(buf)
+	if b.Len() != 10 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+	dst := make([]byte, 4)
+	if err := b.Pull(dst); err != nil || string(dst) != "0123" {
+		t.Fatalf("Pull = %q, %v", dst, err)
+	}
+	if err := b.Push([]byte("AB")); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf[:2]) != "AB" {
+		t.Fatalf("Push did not reach the client buffer: %q", buf)
+	}
+	if err := b.Pull(make([]byte, 11)); err == nil {
+		t.Fatal("oversized pull allowed")
+	}
+	if err := b.Push(make([]byte, 11)); err == nil {
+		t.Fatal("oversized push allowed")
+	}
+}
+
+func TestRemoteErrorMessage(t *testing.T) {
+	e := &RemoteError{Msg: "no such file"}
+	if e.Error() != "rpc: remote: no such file" {
+		t.Fatalf("Error() = %q", e.Error())
+	}
+}

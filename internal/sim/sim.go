@@ -1,0 +1,246 @@
+// Package sim is a deterministic discrete-event simulator: the substrate
+// on which the paper's 512-node scaling experiments are regenerated
+// without 512 nodes. Model code schedules closures on a virtual clock;
+// shared components (NICs, RPC progress engines, SSDs, lock services) are
+// Servers — FIFO queues with a fixed number of parallel slots — so
+// contention, queueing delay and saturation emerge from the event
+// interleaving rather than from closed-form formulas.
+//
+// Determinism: the engine breaks ties by schedule order and the models
+// draw randomness from a seeded SplitMix64, so a given configuration
+// always produces the same series.
+package sim
+
+import (
+	"container/heap"
+	"time"
+)
+
+// Time is virtual time in nanoseconds.
+type Time int64
+
+// Dur converts a wall-clock duration to virtual time.
+func Dur(d time.Duration) Time { return Time(d.Nanoseconds()) }
+
+// Engine runs events in time order.
+type Engine struct {
+	now    Time
+	events eventHeap
+	seq    uint64
+}
+
+// NewEngine returns an engine at time zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// At schedules fn at absolute time t (clamped to now).
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	heap.Push(&e.events, event{t: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn d nanoseconds from now.
+func (e *Engine) After(d Time, fn func()) { e.At(e.now+d, fn) }
+
+// Step executes the next event; it reports false when none remain.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(event)
+	e.now = ev.t
+	ev.fn()
+	return true
+}
+
+// RunUntil executes events until the clock would pass limit or no events
+// remain.
+func (e *Engine) RunUntil(limit Time) {
+	for len(e.events) > 0 && e.events[0].t <= limit {
+		e.Step()
+	}
+	if e.now < limit {
+		e.now = limit
+	}
+}
+
+// Run executes until no events remain.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+type event struct {
+	t   Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	*h = old[:n-1]
+	return ev
+}
+
+// Server is a k-slot FIFO service center. Process enqueues a job with a
+// service duration and runs done when the job leaves. Utilization
+// tracking supports the efficiency analyses.
+type Server struct {
+	eng  *Engine
+	cap  int
+	busy int
+	q    []job
+
+	busyTime  Time
+	lastBusy  Time
+	completed uint64
+}
+
+type job struct {
+	d    Time
+	done func()
+}
+
+// NewServer returns a server with k parallel slots.
+func NewServer(eng *Engine, k int) *Server {
+	if k <= 0 {
+		k = 1
+	}
+	return &Server{eng: eng, cap: k}
+}
+
+// Process enqueues a job of duration d; done (optional) runs at service
+// completion.
+func (s *Server) Process(d Time, done func()) {
+	if s.busy < s.cap {
+		s.start(job{d: d, done: done})
+		return
+	}
+	s.q = append(s.q, job{d: d, done: done})
+}
+
+func (s *Server) start(j job) {
+	if s.busy == 0 {
+		s.lastBusy = s.eng.now
+	}
+	s.busy++
+	s.eng.After(j.d, func() {
+		s.busy--
+		s.completed++
+		if s.busy == 0 {
+			s.busyTime += s.eng.now - s.lastBusy
+		}
+		if len(s.q) > 0 {
+			next := s.q[0]
+			s.q = s.q[1:]
+			s.start(next)
+		}
+		if j.done != nil {
+			j.done()
+		}
+	})
+}
+
+// QueueLen returns the number of waiting jobs (not in service).
+func (s *Server) QueueLen() int { return len(s.q) }
+
+// Completed returns the number of finished jobs.
+func (s *Server) Completed() uint64 { return s.completed }
+
+// BusyFraction reports the fraction of [0, now] during which at least one
+// slot was busy.
+func (s *Server) BusyFraction() float64 {
+	total := s.eng.now
+	if total == 0 {
+		return 0
+	}
+	bt := s.busyTime
+	if s.busy > 0 {
+		bt += s.eng.now - s.lastBusy
+	}
+	return float64(bt) / float64(total)
+}
+
+// RNG is SplitMix64: tiny, fast, deterministic.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG seeds a generator.
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
+
+// Next returns the next 64 random bits.
+func (r *RNG) Next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniform value in [0, n).
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(r.Next() % uint64(n))
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Next()>>11) / float64(1<<53)
+}
+
+// Jitter returns a duration uniformly drawn from [d*(1-f), d*(1+f)].
+func (r *RNG) Jitter(d Time, f float64) Time {
+	if d <= 0 || f <= 0 {
+		return d
+	}
+	lo := float64(d) * (1 - f)
+	hi := float64(d) * (1 + f)
+	return Time(lo + (hi-lo)*r.Float64())
+}
+
+// WaitGroup counts down outstanding sub-operations of a parallel fan-out
+// (e.g. the chunk RPCs of one large transfer) and fires once.
+type WaitGroup struct {
+	n    int
+	done func()
+}
+
+// NewWaitGroup returns a group expecting n completions.
+func NewWaitGroup(n int, done func()) *WaitGroup {
+	if n <= 0 {
+		panic("sim: WaitGroup needs n > 0")
+	}
+	return &WaitGroup{n: n, done: done}
+}
+
+// Done signals one completion.
+func (w *WaitGroup) Done() {
+	w.n--
+	if w.n == 0 && w.done != nil {
+		w.done()
+	}
+	if w.n < 0 {
+		panic("sim: WaitGroup over-released")
+	}
+}

@@ -1,0 +1,216 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEventOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.At(30, func() { order = append(order, 3) })
+	e.At(10, func() { order = append(order, 1) })
+	e.At(20, func() { order = append(order, 2) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if e.Now() != 30 {
+		t.Fatalf("final time = %d", e.Now())
+	}
+}
+
+func TestTieBreakBySchedulingOrder(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("ties not FIFO: %v", order)
+		}
+	}
+}
+
+func TestAfterAndNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var hits []Time
+	e.After(10, func() {
+		hits = append(hits, e.Now())
+		e.After(5, func() { hits = append(hits, e.Now()) })
+	})
+	e.Run()
+	if len(hits) != 2 || hits[0] != 10 || hits[1] != 15 {
+		t.Fatalf("hits = %v", hits)
+	}
+}
+
+func TestRunUntilStopsClock(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	e.At(10, func() { fired++ })
+	e.At(100, func() { fired++ })
+	e.RunUntil(50)
+	if fired != 1 || e.Now() != 50 {
+		t.Fatalf("fired=%d now=%d", fired, e.Now())
+	}
+	e.RunUntil(200)
+	if fired != 2 {
+		t.Fatalf("second event lost")
+	}
+}
+
+func TestPastEventClamps(t *testing.T) {
+	e := NewEngine()
+	e.At(100, func() {
+		e.At(5, func() {
+			if e.Now() != 100 {
+				t.Errorf("past event ran at %d", e.Now())
+			}
+		})
+	})
+	e.Run()
+}
+
+func TestServerSingleSlotSerializes(t *testing.T) {
+	e := NewEngine()
+	s := NewServer(e, 1)
+	var ends []Time
+	for i := 0; i < 3; i++ {
+		s.Process(Dur(10*time.Microsecond), func() { ends = append(ends, e.Now()) })
+	}
+	e.Run()
+	want := []Time{Dur(10 * time.Microsecond), Dur(20 * time.Microsecond), Dur(30 * time.Microsecond)}
+	for i := range want {
+		if ends[i] != want[i] {
+			t.Fatalf("ends = %v, want %v", ends, want)
+		}
+	}
+	if s.Completed() != 3 {
+		t.Fatalf("completed = %d", s.Completed())
+	}
+}
+
+func TestServerParallelSlots(t *testing.T) {
+	e := NewEngine()
+	s := NewServer(e, 4)
+	var last Time
+	for i := 0; i < 4; i++ {
+		s.Process(Dur(time.Millisecond), func() { last = e.Now() })
+	}
+	e.Run()
+	if last != Dur(time.Millisecond) {
+		t.Fatalf("4 jobs on 4 slots finished at %v, want 1ms", last)
+	}
+}
+
+// TestServerThroughputMatchesTheory drives a closed loop of customers
+// through a single-slot server and checks the measured rate against the
+// saturation law X = 1/S.
+func TestServerThroughputMatchesTheory(t *testing.T) {
+	e := NewEngine()
+	svc := Dur(10 * time.Microsecond)
+	s := NewServer(e, 1)
+	completed := 0
+	var issue func()
+	issue = func() {
+		s.Process(svc, func() {
+			completed++
+			issue()
+		})
+	}
+	for i := 0; i < 8; i++ { // 8 closed-loop customers, zero think time
+		issue()
+	}
+	horizon := Dur(100 * time.Millisecond)
+	e.RunUntil(horizon)
+	rate := float64(completed) / (float64(horizon) / 1e9)
+	want := 1e9 / float64(svc) // 100k/s
+	if rate < want*0.99 || rate > want*1.01 {
+		t.Fatalf("rate = %.0f/s, want ≈ %.0f/s", rate, want)
+	}
+	if bf := s.BusyFraction(); bf < 0.99 {
+		t.Fatalf("busy fraction = %.3f, want ~1", bf)
+	}
+}
+
+func TestServerBusyFractionIdle(t *testing.T) {
+	e := NewEngine()
+	s := NewServer(e, 1)
+	s.Process(Dur(10*time.Millisecond), nil)
+	e.At(Dur(100*time.Millisecond), func() {})
+	e.Run()
+	if bf := s.BusyFraction(); bf < 0.09 || bf > 0.11 {
+		t.Fatalf("busy fraction = %.3f, want ≈ 0.1", bf)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(7), NewRNG(7)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRNG(8)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if NewRNG(7).Next() == c.Next() {
+			same++
+		}
+	}
+	if same > 10 {
+		t.Fatal("different seeds too similar")
+	}
+}
+
+func TestRNGUniformity(t *testing.T) {
+	r := NewRNG(99)
+	counts := make([]int, 10)
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(10)]++
+	}
+	for b, c := range counts {
+		if c < draws/10*85/100 || c > draws/10*115/100 {
+			t.Fatalf("bucket %d has %d draws, expected ~%d", b, c, draws/10)
+		}
+	}
+}
+
+func TestJitterBounds(t *testing.T) {
+	r := NewRNG(3)
+	d := Dur(100 * time.Microsecond)
+	for i := 0; i < 1000; i++ {
+		j := r.Jitter(d, 0.2)
+		if j < Dur(80*time.Microsecond) || j > Dur(120*time.Microsecond) {
+			t.Fatalf("jitter %v out of ±20%% band", j)
+		}
+	}
+	if r.Jitter(d, 0) != d {
+		t.Fatal("zero jitter must be identity")
+	}
+}
+
+func TestWaitGroup(t *testing.T) {
+	fired := false
+	wg := NewWaitGroup(3, func() { fired = true })
+	wg.Done()
+	wg.Done()
+	if fired {
+		t.Fatal("fired early")
+	}
+	wg.Done()
+	if !fired {
+		t.Fatal("did not fire")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("over-release not detected")
+		}
+	}()
+	wg.Done()
+}

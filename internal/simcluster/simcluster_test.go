@@ -1,0 +1,214 @@
+package simcluster
+
+import (
+	"testing"
+	"time"
+)
+
+// The simulation tests assert the paper's *shape*: near-linear scaling,
+// plateau positions within generous bands, ordering between
+// configurations. Exact values are pinned separately by determinism
+// tests.
+
+func mdRun(t *testing.T, nodes int, op MDOp) Result {
+	t.Helper()
+	return RunMetadata(DefaultParams(), nodes, op, 3*time.Millisecond, 9*time.Millisecond, 7)
+}
+
+func TestMetadataNearLinearScaling(t *testing.T) {
+	r1 := mdRun(t, 1, MDOpCreate)
+	r16 := mdRun(t, 16, MDOpCreate)
+	r64 := mdRun(t, 64, MDOpCreate)
+	if r16.OpsPerSec < 12*r1.OpsPerSec {
+		t.Fatalf("16-node creates %.0f < 12x 1-node %.0f", r16.OpsPerSec, r1.OpsPerSec)
+	}
+	if r64.OpsPerSec < 3.2*r16.OpsPerSec {
+		t.Fatalf("64-node creates %.0f < 3.2x 16-node %.0f", r64.OpsPerSec, r16.OpsPerSec)
+	}
+}
+
+func TestMetadataPlateausMatchPaper(t *testing.T) {
+	if testing.Short() {
+		t.Skip("512-node simulation")
+	}
+	// Paper, 512 nodes: ~46 M creates/s, ~44 M stats/s, ~22 M removes/s.
+	// Accept ±25 %.
+	checks := []struct {
+		op   MDOp
+		want float64
+	}{
+		{MDOpCreate, 46e6},
+		{MDOpStat, 44e6},
+		{MDOpRemove, 22e6},
+	}
+	for _, c := range checks {
+		got := mdRun(t, 512, c.op).OpsPerSec
+		if got < c.want*0.75 || got > c.want*1.25 {
+			t.Errorf("%v @512 = %.1fM ops/s, want %.0fM ±25%%", c.op, got/1e6, c.want/1e6)
+		}
+	}
+}
+
+func TestCreateFasterThanRemove(t *testing.T) {
+	// Removes cost ~2x creates on the daemon (delete + existence check),
+	// visible in the paper's 46M vs 22M plateaus.
+	create := mdRun(t, 32, MDOpCreate)
+	remove := mdRun(t, 32, MDOpRemove)
+	ratio := create.OpsPerSec / remove.OpsPerSec
+	if ratio < 1.6 || ratio > 2.6 {
+		t.Fatalf("create/remove ratio = %.2f, want ≈ 2", ratio)
+	}
+}
+
+func TestMetadataDeterminism(t *testing.T) {
+	a := RunMetadata(DefaultParams(), 8, MDOpCreate, time.Millisecond, 5*time.Millisecond, 42)
+	b := RunMetadata(DefaultParams(), 8, MDOpCreate, time.Millisecond, 5*time.Millisecond, 42)
+	if a.OpsPerSec != b.OpsPerSec || a.MeanLatency != b.MeanLatency {
+		t.Fatalf("same seed diverged: %v vs %v", a, b)
+	}
+	c := RunMetadata(DefaultParams(), 8, MDOpCreate, time.Millisecond, 5*time.Millisecond, 43)
+	if a.OpsPerSec == c.OpsPerSec {
+		t.Fatal("different seeds produced identical series (suspicious)")
+	}
+}
+
+func ioRun(t *testing.T, cfg IOConfig) Result {
+	t.Helper()
+	if cfg.Warmup == 0 {
+		cfg.Warmup = 25 * time.Millisecond
+		cfg.Window = 50 * time.Millisecond
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 11
+	}
+	return RunIO(DefaultParams(), cfg)
+}
+
+func TestIOScalesWithNodes(t *testing.T) {
+	small := ioRun(t, IOConfig{Nodes: 4, Write: true, TransferSize: 1 << 20})
+	big := ioRun(t, IOConfig{Nodes: 32, Write: true, TransferSize: 1 << 20})
+	if big.MiBPerSec < 6.5*small.MiBPerSec {
+		t.Fatalf("32-node write %.0f < 6.5x 4-node %.0f MiB/s", big.MiBPerSec, small.MiBPerSec)
+	}
+}
+
+func TestWriteEfficiencyNearPaper(t *testing.T) {
+	// Paper: ~80 % of aggregated SSD write peak at 64 MiB transfers.
+	p := DefaultParams()
+	r := ioRun(t, IOConfig{Nodes: 16, Write: true, TransferSize: 64 << 20})
+	eff := r.MiBPerSec / AggregateSSDPeak(p, 16, true)
+	if eff < 0.70 || eff > 0.92 {
+		t.Fatalf("write efficiency = %.2f, want ≈ 0.80", eff)
+	}
+}
+
+func TestReadEfficiencyNearPaper(t *testing.T) {
+	// Paper: ~70 % of aggregated SSD read peak at 64 MiB transfers.
+	p := DefaultParams()
+	r := ioRun(t, IOConfig{Nodes: 16, Write: false, TransferSize: 64 << 20})
+	eff := r.MiBPerSec / AggregateSSDPeak(p, 16, false)
+	if eff < 0.60 || eff > 0.82 {
+		t.Fatalf("read efficiency = %.2f, want ≈ 0.70", eff)
+	}
+}
+
+func TestLargerTransfersFaster(t *testing.T) {
+	// Fig. 3: throughput ordering 8K < 64K < 1M at every node count.
+	var prev float64
+	for _, ts := range []int64{8 << 10, 64 << 10, 1 << 20} {
+		r := ioRun(t, IOConfig{Nodes: 8, Write: true, TransferSize: ts})
+		if r.MiBPerSec <= prev {
+			t.Fatalf("transfer size %d not faster than smaller size (%.0f <= %.0f)",
+				ts, r.MiBPerSec, prev)
+		}
+		prev = r.MiBPerSec
+	}
+}
+
+func TestSmallTransferLatencyBound(t *testing.T) {
+	// Paper: average latency ≤ 700 µs at 8 KiB transfers (512 nodes); the
+	// bound holds at smaller scale too since the closed-loop population
+	// per daemon is constant.
+	r := ioRun(t, IOConfig{Nodes: 32, Write: true, TransferSize: 8 << 10})
+	if r.MeanLatency > 700*time.Microsecond {
+		t.Fatalf("8KiB write latency = %v > 700µs", r.MeanLatency)
+	}
+	if r.MeanLatency < 50*time.Microsecond {
+		t.Fatalf("8KiB write latency = %v implausibly low", r.MeanLatency)
+	}
+}
+
+func TestRandomVersusSequential(t *testing.T) {
+	// Paper §IV-B: at 8 KiB and 512 nodes random write loses ~33 %,
+	// random read ~60 %; at or above the chunk size there is no
+	// difference. Bands: write −20..45 %, read −45..70 %.
+	seqW := ioRun(t, IOConfig{Nodes: 16, Write: true, TransferSize: 8 << 10})
+	rndW := ioRun(t, IOConfig{Nodes: 16, Write: true, TransferSize: 8 << 10, Random: true})
+	dropW := 1 - rndW.MiBPerSec/seqW.MiBPerSec
+	if dropW < 0.20 || dropW > 0.45 {
+		t.Errorf("random write drop = %.0f%%, want ≈ 33%%", dropW*100)
+	}
+	seqR := ioRun(t, IOConfig{Nodes: 16, Write: false, TransferSize: 8 << 10})
+	rndR := ioRun(t, IOConfig{Nodes: 16, Write: false, TransferSize: 8 << 10, Random: true})
+	dropR := 1 - rndR.MiBPerSec/seqR.MiBPerSec
+	if dropR < 0.45 || dropR > 0.70 {
+		t.Errorf("random read drop = %.0f%%, want ≈ 60%%", dropR*100)
+	}
+	// Chunk-sized transfers: random ≈ sequential.
+	seqC := ioRun(t, IOConfig{Nodes: 16, Write: true, TransferSize: 512 << 10})
+	rndC := ioRun(t, IOConfig{Nodes: 16, Write: true, TransferSize: 512 << 10, Random: true})
+	if d := 1 - rndC.MiBPerSec/seqC.MiBPerSec; d > 0.08 || d < -0.08 {
+		t.Errorf("chunk-sized random penalty = %.0f%%, want ≈ 0", d*100)
+	}
+}
+
+func TestSharedFileCeilingAndCacheFix(t *testing.T) {
+	// Paper §IV-B: without caching, shared-file writes cap at ~150 K
+	// ops/s because every write updates the size on one daemon; the
+	// client size cache restores file-per-process performance.
+	noCache := ioRun(t, IOConfig{Nodes: 64, Write: true, TransferSize: 64 << 10, Shared: true})
+	if noCache.OpsPerSec < 100e3 || noCache.OpsPerSec > 220e3 {
+		t.Errorf("shared-file ceiling = %.0fK ops/s, want ≈ 150K", noCache.OpsPerSec/1e3)
+	}
+	cached := ioRun(t, IOConfig{Nodes: 64, Write: true, TransferSize: 64 << 10, Shared: true, SizeCacheOps: 32})
+	fpp := ioRun(t, IOConfig{Nodes: 64, Write: true, TransferSize: 64 << 10})
+	if cached.MiBPerSec < 0.9*fpp.MiBPerSec {
+		t.Errorf("cached shared-file %.0f MiB/s below 90%% of file-per-process %.0f",
+			cached.MiBPerSec, fpp.MiBPerSec)
+	}
+	if noCache.MiBPerSec > 0.6*fpp.MiBPerSec {
+		t.Errorf("uncached shared file too fast: %.0f vs fpp %.0f MiB/s",
+			noCache.MiBPerSec, fpp.MiBPerSec)
+	}
+}
+
+func TestIODeterminism(t *testing.T) {
+	cfg := IOConfig{Nodes: 8, Write: true, TransferSize: 64 << 10,
+		Warmup: 5 * time.Millisecond, Window: 10 * time.Millisecond, Seed: 5}
+	a := RunIO(DefaultParams(), cfg)
+	b := RunIO(DefaultParams(), cfg)
+	if a != b {
+		t.Fatalf("same config diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestAggregateSSDPeak(t *testing.T) {
+	p := DefaultParams()
+	w1 := AggregateSSDPeak(p, 1, true)
+	w8 := AggregateSSDPeak(p, 8, true)
+	if w8 != 8*w1 {
+		t.Fatalf("peak not linear: %f vs %f", w8, 8*w1)
+	}
+	if AggregateSSDPeak(p, 1, false) <= w1 {
+		t.Fatal("read peak should exceed write peak for this device")
+	}
+}
+
+func TestMDOpString(t *testing.T) {
+	if MDOpCreate.String() != "create" || MDOpStat.String() != "stat" || MDOpRemove.String() != "remove" {
+		t.Fatal("bad op names")
+	}
+	if MDOp(9).String() == "" {
+		t.Fatal("unknown op must format")
+	}
+}

@@ -1,0 +1,120 @@
+// Package ssd models the node-local drive of the paper's testbed (an
+// Intel DC S3700-class SATA data-center SSD, XFS-formatted) for the
+// simulation plane. Figure 3 normalizes GekkoFS throughput against the
+// "plain SSD peak throughput", so the model's sequential numbers define
+// the white reference rectangles, and its random-access penalties drive
+// the in-text random-I/O results.
+package ssd
+
+import "time"
+
+// Model captures the device parameters the simulation needs. All rates
+// are bytes per second.
+type Model struct {
+	// SeqReadBps and SeqWriteBps are the sustained sequential rates.
+	SeqReadBps, SeqWriteBps float64
+	// PerOpOverhead is the controller/file-system cost charged once per
+	// chunk-file access (open + metadata + submission).
+	PerOpOverhead time.Duration
+	// RandReadPenalty and RandWritePenalty are the extra per-access costs
+	// of a random small access relative to a streaming one. They bundle
+	// device positioning, the SATA round trip that readahead would have
+	// hidden, and the kernel page-cache miss: sequential small reads of a
+	// chunk file ride XFS readahead; random ones go to the device every
+	// time. Calibrated so the full simulation lands near the paper's
+	// −~60 % read / −~33 % write at 8 KiB and 512 nodes.
+	RandReadPenalty, RandWritePenalty time.Duration
+	// RandomFadeBytes is the I/O size at which random access behaves like
+	// sequential access (GekkoFS chunk files make accesses ≥ chunk size
+	// whole-file sequential; paper §IV-B).
+	RandomFadeBytes int64
+	// SustainedWriteDerate and SustainedReadDerate model the bandwidth
+	// lost to file-system amplification when streaming chunk files (XFS
+	// journaling, extent allocation, readahead over-fetch): the effective
+	// rate of an access of SustainedFadeBytes or more is
+	// seq × (1 − derate), fading linearly away for smaller accesses,
+	// whose cost is already dominated by per-op overheads. Calibrated so
+	// the simulation reproduces Fig. 3's measured ~80 % write / ~70 %
+	// read of aggregated raw peak at 64 MiB transfers.
+	SustainedWriteDerate, SustainedReadDerate float64
+	// SustainedFadeBytes is the access size at which the sustained
+	// derate fully applies.
+	SustainedFadeBytes int64
+}
+
+// DCS3700 returns parameters for the Intel SSD DC S3700 (800 GB class):
+// 500 MB/s sequential read, 460 MB/s sequential write (vendor datasheet);
+// random penalties calibrated as described on Model.
+func DCS3700() Model {
+	return Model{
+		SeqReadBps:       500e6,
+		SeqWriteBps:      460e6,
+		PerOpOverhead:    12 * time.Microsecond,
+		RandReadPenalty:  40 * time.Microsecond,
+		RandWritePenalty: 17 * time.Microsecond,
+		RandomFadeBytes:  512 * 1024,
+	}
+}
+
+// MOGON returns the simulation plane's device: the same drive class with
+// the *achievable* sequential rates backed out of Fig. 3's reference
+// rectangles (141 GiB/s ≈ 80 % of the aggregated write peak at 512 nodes
+// → ~370 MB/s per node; 204 GiB/s ≈ 70 % of the read peak → ~560 MB/s,
+// the SATA ceiling). Random penalties are calibrated so the end-to-end
+// simulation lands near the paper's −~60 % random-read and −~33 %
+// random-write deltas at 8 KiB.
+func MOGON() Model {
+	return Model{
+		SeqReadBps:           560e6,
+		SeqWriteBps:          370e6,
+		PerOpOverhead:        12 * time.Microsecond,
+		RandReadPenalty:      40 * time.Microsecond,
+		RandWritePenalty:     17 * time.Microsecond,
+		RandomFadeBytes:      512 * 1024,
+		SustainedWriteDerate: 0.20,
+		SustainedReadDerate:  0.28,
+		SustainedFadeBytes:   64 * 1024,
+	}
+}
+
+// ReadTime returns the device service time of one read of size bytes.
+func (m Model) ReadTime(size int64, random bool) time.Duration {
+	return m.accessTime(size, random, m.SeqReadBps, m.RandReadPenalty, m.SustainedReadDerate)
+}
+
+// WriteTime returns the device service time of one write of size bytes.
+func (m Model) WriteTime(size int64, random bool) time.Duration {
+	return m.accessTime(size, random, m.SeqWriteBps, m.RandWritePenalty, m.SustainedWriteDerate)
+}
+
+// accessTime = per-op overhead + derated transfer time + random penalty.
+// The random penalty fades linearly to zero — and the sustained derate
+// fades linearly in — as the I/O size approaches RandomFadeBytes.
+func (m Model) accessTime(size int64, random bool, seqBps float64, penalty time.Duration, derate float64) time.Duration {
+	if size <= 0 {
+		return m.PerOpOverhead
+	}
+	fade := m.SustainedFadeBytes
+	if fade <= 0 {
+		fade = m.RandomFadeBytes
+	}
+	dscale := 1.0
+	if fade > 0 && size < fade {
+		dscale = float64(size) / float64(fade)
+	}
+	eff := seqBps * (1 - derate*dscale)
+	transfer := time.Duration(float64(size) / eff * float64(time.Second))
+	t := m.PerOpOverhead + transfer
+	if random && penalty > 0 && size < m.RandomFadeBytes {
+		rscale := float64(size) / float64(m.RandomFadeBytes)
+		t += time.Duration(float64(penalty) * (1 - rscale))
+	}
+	return t
+}
+
+// SeqReadBandwidth exposes the peak read rate used for Fig. 3's
+// aggregated-SSD reference series.
+func (m Model) SeqReadBandwidth() float64 { return m.SeqReadBps }
+
+// SeqWriteBandwidth returns the sequential write peak in bytes/s.
+func (m Model) SeqWriteBandwidth() float64 { return m.SeqWriteBps }

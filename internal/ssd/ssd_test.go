@@ -1,0 +1,94 @@
+package ssd
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSequentialTimesScaleWithSize(t *testing.T) {
+	m := DCS3700()
+	small := m.WriteTime(8<<10, false)
+	large := m.WriteTime(64<<20, false)
+	if large <= small {
+		t.Fatalf("64MiB (%v) not slower than 8KiB (%v)", large, small)
+	}
+	// 64 MiB at 460 MB/s ≈ 146 ms; allow wide tolerance around overheads.
+	sizeBytes := float64(int64(64 << 20))
+	want := time.Duration(sizeBytes / 460e6 * float64(time.Second))
+	if large < want || large > want+time.Millisecond {
+		t.Fatalf("64MiB write = %v, want ≈ %v", large, want)
+	}
+}
+
+func TestRandomPenaltyAtSmallSizes(t *testing.T) {
+	m := DCS3700()
+	seq := m.ReadTime(8<<10, false)
+	rnd := m.ReadTime(8<<10, true)
+	if rnd <= seq {
+		t.Fatalf("8KiB random read (%v) not slower than sequential (%v)", rnd, seq)
+	}
+	wSeq := m.WriteTime(8<<10, false)
+	wRnd := m.WriteTime(8<<10, true)
+	if wRnd <= wSeq {
+		t.Fatalf("8KiB random write (%v) not slower than sequential (%v)", wRnd, wSeq)
+	}
+}
+
+func TestRandomPenaltyFadesAtChunkSize(t *testing.T) {
+	// Paper §IV-B: transfers at or above the chunk size behave like
+	// sequential accesses because whole chunk files are accessed.
+	m := DCS3700()
+	seq := m.ReadTime(512<<10, false)
+	rnd := m.ReadTime(512<<10, true)
+	if rnd != seq {
+		t.Fatalf("512KiB random (%v) != sequential (%v)", rnd, seq)
+	}
+}
+
+func TestSequentialWriteSlowerThanSequentialRead(t *testing.T) {
+	// 460 MB/s write vs 500 MB/s read: large sequential writes take
+	// longer than reads of the same size.
+	m := DCS3700()
+	if m.WriteTime(1<<20, false) <= m.ReadTime(1<<20, false) {
+		t.Fatal("sequential 1MiB write should be slower than read")
+	}
+}
+
+func TestZeroSize(t *testing.T) {
+	m := DCS3700()
+	if m.ReadTime(0, false) != m.PerOpOverhead {
+		t.Fatal("zero-size read must cost exactly the per-op overhead")
+	}
+}
+
+func TestPeakBandwidthAccessors(t *testing.T) {
+	m := DCS3700()
+	if m.SeqReadBandwidth() != 500e6 || m.SeqWriteBandwidth() != 460e6 {
+		t.Fatalf("peaks = %v, %v", m.SeqReadBandwidth(), m.SeqWriteBandwidth())
+	}
+}
+
+func TestPenaltyMonotoneInSize(t *testing.T) {
+	// The absolute random penalty must shrink as the I/O size grows
+	// toward the fade boundary.
+	m := DCS3700()
+	prev := time.Duration(1 << 62)
+	for _, size := range []int64{4 << 10, 8 << 10, 64 << 10, 256 << 10} {
+		extra := m.ReadTime(size, true) - m.ReadTime(size, false)
+		if extra >= prev {
+			t.Fatalf("penalty at %d (%v) not below penalty at smaller size (%v)", size, extra, prev)
+		}
+		prev = extra
+	}
+}
+
+func TestReadPenaltyExceedsWritePenalty(t *testing.T) {
+	// Paper §IV-B: at 8 KiB and 512 nodes reads drop ~60 %, writes ~33 %,
+	// so the device-level read penalty must dominate.
+	m := DCS3700()
+	readExtra := m.ReadTime(8<<10, true) - m.ReadTime(8<<10, false)
+	writeExtra := m.WriteTime(8<<10, true) - m.WriteTime(8<<10, false)
+	if readExtra <= writeExtra {
+		t.Fatalf("read penalty %v not above write penalty %v", readExtra, writeExtra)
+	}
+}

@@ -1,0 +1,368 @@
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/rpc"
+)
+
+// TCP wire format. Requests and responses are length-prefixed frames
+// multiplexed over one connection by request id.
+//
+//	request:  [u32 rest-len][u64 reqID][u16 op][u8 dir]
+//	          [u32 payloadLen][payload][u32 bulkLen][bulk]
+//	response: [u32 rest-len][u64 reqID][u8 status]
+//	          [u32 payloadLen][payload][u32 bulkLen][bulk]
+//
+// dir is the rpc.BulkDir; bulk bytes travel client→server only for BulkIn
+// and server→client only for BulkOut. status 0 is success; status 1
+// carries a handler error message in the payload.
+
+// maxFrame guards against corrupt length prefixes (64 MiB transfer + slack).
+const maxFrame = 128 << 20
+
+var errFrameTooBig = errors.New("transport: frame exceeds limit")
+
+// ServeTCP accepts connections on l and serves srv until l is closed.
+// It returns the first accept error (net.ErrClosed after a clean stop).
+func ServeTCP(l net.Listener, srv *rpc.Server) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		go serveConn(conn, srv)
+	}
+}
+
+func serveConn(conn net.Conn, srv *rpc.Server) {
+	defer conn.Close()
+	var wmu sync.Mutex // serializes response frames
+	for {
+		frame, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		go func(frame []byte) {
+			reqID, op, dir, payload, bulkIn, err := parseRequest(frame)
+			if err != nil {
+				return // protocol violation; drop the request
+			}
+			bulk := &tcpServerBulk{dir: dir, in: bulkIn, outLen: len(bulkIn)}
+			if dir == rpc.BulkOut {
+				bulk.out = make([]byte, 0, bulk.outLen)
+			}
+			resp, herr := srv.Dispatch(op, payload, bulkFor(bulk, dir))
+			writeResponse(conn, &wmu, reqID, resp, bulk.out, herr)
+		}(frame)
+	}
+}
+
+// bulkFor hides the bulk object entirely when no buffer was exposed, so
+// handlers can test for nil.
+func bulkFor(b *tcpServerBulk, dir rpc.BulkDir) rpc.Bulk {
+	if dir == rpc.BulkNone {
+		return nil
+	}
+	return b
+}
+
+// tcpServerBulk implements rpc.Bulk over the inlined bytes.
+type tcpServerBulk struct {
+	dir    rpc.BulkDir
+	in     []byte
+	out    []byte
+	outLen int
+}
+
+// Pull implements rpc.Bulk.
+func (b *tcpServerBulk) Pull(p []byte) error {
+	if b.dir != rpc.BulkIn {
+		return errors.New("transport: pull from non-BulkIn region")
+	}
+	if len(p) > len(b.in) {
+		return fmt.Errorf("transport: bulk pull of %d exceeds exposed %d", len(p), len(b.in))
+	}
+	copy(p, b.in)
+	return nil
+}
+
+// Push implements rpc.Bulk.
+func (b *tcpServerBulk) Push(p []byte) error {
+	if b.dir != rpc.BulkOut {
+		return errors.New("transport: push into non-BulkOut region")
+	}
+	if len(p) > b.outLen {
+		return fmt.Errorf("transport: bulk push of %d exceeds exposed %d", len(p), b.outLen)
+	}
+	b.out = append(b.out[:0], p...)
+	return nil
+}
+
+// Len implements rpc.Bulk.
+func (b *tcpServerBulk) Len() int {
+	if b.dir == rpc.BulkIn {
+		return len(b.in)
+	}
+	return b.outLen
+}
+
+// DialTCP connects to a server at addr. timeout bounds each call's wait
+// for a response; zero means no limit.
+func DialTCP(addr string, timeout time.Duration) (rpc.Conn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	tc := &tcpConn{
+		conn:    c,
+		timeout: timeout,
+		pending: make(map[uint64]chan tcpResult),
+	}
+	go tc.readLoop()
+	return tc, nil
+}
+
+type tcpConn struct {
+	conn    net.Conn
+	timeout time.Duration
+
+	wmu sync.Mutex // serializes request frames
+
+	mu      sync.Mutex
+	pending map[uint64]chan tcpResult
+	nextID  uint64
+	dead    error
+}
+
+type tcpResult struct {
+	payload []byte
+	bulk    []byte
+	err     error
+}
+
+// Call implements rpc.Conn.
+func (c *tcpConn) Call(op rpc.Op, payload, bulk []byte, dir rpc.BulkDir) ([]byte, error) {
+	if bulk == nil {
+		dir = rpc.BulkNone
+	}
+	ch := make(chan tcpResult, 1)
+	c.mu.Lock()
+	if c.dead != nil {
+		err := c.dead
+		c.mu.Unlock()
+		return nil, err
+	}
+	c.nextID++
+	id := c.nextID
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	var bulkOut []byte
+	if dir == rpc.BulkIn {
+		bulkOut = bulk
+	}
+	frame := buildRequest(id, op, dir, payload, bulkOut, lenOf(bulk, dir))
+	c.wmu.Lock()
+	_, err := c.conn.Write(frame)
+	c.wmu.Unlock()
+	if err != nil {
+		c.drop(id)
+		return nil, err
+	}
+
+	var timer *time.Timer
+	var timeoutCh <-chan time.Time
+	if c.timeout > 0 {
+		timer = time.NewTimer(c.timeout)
+		defer timer.Stop()
+		timeoutCh = timer.C
+	}
+	select {
+	case res := <-ch:
+		if res.err != nil {
+			return nil, res.err
+		}
+		if dir == rpc.BulkOut && len(res.bulk) > 0 {
+			copy(bulk, res.bulk)
+		}
+		return res.payload, nil
+	case <-timeoutCh:
+		c.drop(id)
+		return nil, fmt.Errorf("transport: call %d op %d timed out after %v", id, op, c.timeout)
+	}
+}
+
+func lenOf(bulk []byte, dir rpc.BulkDir) int {
+	if dir == rpc.BulkNone {
+		return 0
+	}
+	return len(bulk)
+}
+
+func (c *tcpConn) drop(id uint64) {
+	c.mu.Lock()
+	delete(c.pending, id)
+	c.mu.Unlock()
+}
+
+// Close implements rpc.Conn.
+func (c *tcpConn) Close() error { return c.conn.Close() }
+
+func (c *tcpConn) readLoop() {
+	for {
+		frame, err := readFrame(c.conn)
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		id, status, payload, bulk, err := parseResponse(frame)
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[id]
+		delete(c.pending, id)
+		c.mu.Unlock()
+		if !ok {
+			continue // timed-out call's late response
+		}
+		res := tcpResult{payload: payload, bulk: bulk}
+		if status != 0 {
+			res = tcpResult{err: &rpc.RemoteError{Msg: string(payload)}}
+		}
+		ch <- res
+	}
+}
+
+func (c *tcpConn) fail(err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.dead == nil {
+		c.dead = fmt.Errorf("transport: connection failed: %w", err)
+	}
+	for id, ch := range c.pending {
+		ch <- tcpResult{err: c.dead}
+		delete(c.pending, id)
+	}
+}
+
+// --- framing ---
+
+func readFrame(r io.Reader) ([]byte, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(lenBuf[:])
+	if n > maxFrame {
+		return nil, errFrameTooBig
+	}
+	frame := make([]byte, n)
+	if _, err := io.ReadFull(r, frame); err != nil {
+		return nil, err
+	}
+	return frame, nil
+}
+
+func buildRequest(id uint64, op rpc.Op, dir rpc.BulkDir, payload, bulk []byte, bulkLen int) []byte {
+	rest := 8 + 2 + 1 + 4 + len(payload) + 4 + len(bulk)
+	out := make([]byte, 4, 4+rest)
+	binary.LittleEndian.PutUint32(out, uint32(rest))
+	out = binary.LittleEndian.AppendUint64(out, id)
+	out = binary.LittleEndian.AppendUint16(out, uint16(op))
+	out = append(out, byte(dir))
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(payload)))
+	out = append(out, payload...)
+	if dir == rpc.BulkIn {
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(bulk)))
+		out = append(out, bulk...)
+	} else {
+		// BulkOut advertises only the region size the server may push into.
+		out = binary.LittleEndian.AppendUint32(out, uint32(bulkLen))
+	}
+	return out
+}
+
+func parseRequest(frame []byte) (id uint64, op rpc.Op, dir rpc.BulkDir, payload, bulk []byte, err error) {
+	if len(frame) < 8+2+1+4 {
+		return 0, 0, 0, nil, nil, rpc.ErrTruncated
+	}
+	id = binary.LittleEndian.Uint64(frame)
+	op = rpc.Op(binary.LittleEndian.Uint16(frame[8:]))
+	dir = rpc.BulkDir(frame[10])
+	p := frame[11:]
+	plen := binary.LittleEndian.Uint32(p)
+	p = p[4:]
+	if uint32(len(p)) < plen+4 {
+		return 0, 0, 0, nil, nil, rpc.ErrTruncated
+	}
+	payload = p[:plen]
+	p = p[plen:]
+	blen := binary.LittleEndian.Uint32(p)
+	p = p[4:]
+	if dir == rpc.BulkIn {
+		if uint32(len(p)) < blen {
+			return 0, 0, 0, nil, nil, rpc.ErrTruncated
+		}
+		bulk = p[:blen]
+	} else {
+		// The region is size-only; materialize the advertised length so
+		// tcpServerBulk knows the push budget.
+		bulk = make([]byte, blen)
+	}
+	return id, op, dir, payload, bulk, nil
+}
+
+func writeResponse(conn net.Conn, wmu *sync.Mutex, id uint64, payload, bulk []byte, herr error) {
+	status := byte(0)
+	if herr != nil {
+		status = 1
+		payload = []byte(herr.Error())
+		bulk = nil
+	}
+	rest := 8 + 1 + 4 + len(payload) + 4 + len(bulk)
+	out := make([]byte, 4, 4+rest)
+	binary.LittleEndian.PutUint32(out, uint32(rest))
+	out = binary.LittleEndian.AppendUint64(out, id)
+	out = append(out, status)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(payload)))
+	out = append(out, payload...)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(bulk)))
+	out = append(out, bulk...)
+
+	wmu.Lock()
+	defer wmu.Unlock()
+	// A write error tears down the connection via the read side.
+	_, _ = conn.Write(out)
+}
+
+func parseResponse(frame []byte) (id uint64, status byte, payload, bulk []byte, err error) {
+	if len(frame) < 8+1+4 {
+		return 0, 0, nil, nil, rpc.ErrTruncated
+	}
+	id = binary.LittleEndian.Uint64(frame)
+	status = frame[8]
+	p := frame[9:]
+	plen := binary.LittleEndian.Uint32(p)
+	p = p[4:]
+	if uint32(len(p)) < plen+4 {
+		return 0, 0, nil, nil, rpc.ErrTruncated
+	}
+	payload = p[:plen]
+	p = p[plen:]
+	blen := binary.LittleEndian.Uint32(p)
+	p = p[4:]
+	if uint32(len(p)) < blen {
+		return 0, 0, nil, nil, rpc.ErrTruncated
+	}
+	bulk = p[:blen]
+	return id, status, payload, bulk, nil
+}

@@ -1,0 +1,230 @@
+package vfs
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// fsFactories lets every test run against both implementations.
+func fsFactories(t *testing.T) map[string]FS {
+	t.Helper()
+	osfs, err := NewOS(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]FS{"mem": NewMem(), "os": osfs}
+}
+
+func TestCreateWriteRead(t *testing.T) {
+	for name, fs := range fsFactories(t) {
+		t.Run(name, func(t *testing.T) {
+			f, err := fs.Create("dir/a.bin")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := f.Append([]byte("hello ")); err != nil {
+				t.Fatal(err)
+			}
+			off, err := f.Append([]byte("world"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if off != 6 {
+				t.Fatalf("append offset = %d, want 6", off)
+			}
+			buf := make([]byte, 11)
+			if _, err := f.ReadAt(buf, 0); err != nil {
+				t.Fatal(err)
+			}
+			if string(buf) != "hello world" {
+				t.Fatalf("read %q", buf)
+			}
+			sz, err := f.Size()
+			if err != nil || sz != 11 {
+				t.Fatalf("size = %d, %v", sz, err)
+			}
+			if err := f.Close(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestWriteAtExtends(t *testing.T) {
+	for name, fs := range fsFactories(t) {
+		t.Run(name, func(t *testing.T) {
+			f, err := fs.Create("w.bin")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := f.WriteAt([]byte{1, 2, 3}, 10); err != nil {
+				t.Fatal(err)
+			}
+			sz, _ := f.Size()
+			if sz != 13 {
+				t.Fatalf("size = %d, want 13", sz)
+			}
+			buf := make([]byte, 13)
+			if _, err := f.ReadAt(buf, 0); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(buf[:10], make([]byte, 10)) || !bytes.Equal(buf[10:], []byte{1, 2, 3}) {
+				t.Fatalf("content %v", buf)
+			}
+		})
+	}
+}
+
+func TestOpenMissing(t *testing.T) {
+	for name, fs := range fsFactories(t) {
+		t.Run(name, func(t *testing.T) {
+			if _, err := fs.Open("nope"); !errors.Is(err, ErrNotExist) {
+				t.Fatalf("err = %v, want ErrNotExist", err)
+			}
+			if err := fs.Remove("nope"); !errors.Is(err, ErrNotExist) {
+				t.Fatalf("remove err = %v, want ErrNotExist", err)
+			}
+		})
+	}
+}
+
+func TestRename(t *testing.T) {
+	for name, fs := range fsFactories(t) {
+		t.Run(name, func(t *testing.T) {
+			f, _ := fs.Create("old")
+			if _, err := f.Append([]byte("x")); err != nil {
+				t.Fatal(err)
+			}
+			f.Close()
+			if err := fs.Rename("old", "new"); err != nil {
+				t.Fatal(err)
+			}
+			if fs.Exists("old") || !fs.Exists("new") {
+				t.Fatal("rename did not move the file")
+			}
+		})
+	}
+}
+
+func TestList(t *testing.T) {
+	for name, fs := range fsFactories(t) {
+		t.Run(name, func(t *testing.T) {
+			if err := fs.MkdirAll("d"); err != nil {
+				t.Fatal(err)
+			}
+			for _, n := range []string{"d/b", "d/a", "d/c"} {
+				f, err := fs.Create(n)
+				if err != nil {
+					t.Fatal(err)
+				}
+				f.Close()
+			}
+			sub, err := fs.Create("d/sub/x")
+			if err != nil {
+				t.Fatal(err)
+			}
+			sub.Close()
+			names, err := fs.List("d")
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := map[string]bool{}
+			for _, n := range names {
+				got[n] = true
+			}
+			if !got["a"] || !got["b"] || !got["c"] || got["x"] {
+				t.Fatalf("List = %v", names)
+			}
+			empty, err := fs.List("missing-dir")
+			if err != nil || len(empty) != 0 {
+				t.Fatalf("List(missing) = %v, %v", empty, err)
+			}
+		})
+	}
+}
+
+func TestMemCrashCloneDropsUnsynced(t *testing.T) {
+	m := NewMem()
+	f, _ := m.Create("wal")
+	if _, err := f.Append([]byte("durable")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Append([]byte("-lost")); err != nil {
+		t.Fatal(err)
+	}
+
+	crashed := m.CrashClone()
+	cf, err := crashed.Open("wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sz, _ := cf.Size()
+	if sz != int64(len("durable")) {
+		t.Fatalf("crashed size = %d, want %d", sz, len("durable"))
+	}
+	buf := make([]byte, sz)
+	if _, err := cf.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "durable" {
+		t.Fatalf("crashed content = %q", buf)
+	}
+
+	// The original is unaffected.
+	osz, _ := f.Size()
+	if osz != int64(len("durable-lost")) {
+		t.Fatalf("original size changed: %d", osz)
+	}
+}
+
+func TestMemCrashCloneNeverSynced(t *testing.T) {
+	m := NewMem()
+	f, _ := m.Create("x")
+	if _, err := f.Append([]byte("gone")); err != nil {
+		t.Fatal(err)
+	}
+	c := m.CrashClone()
+	cf, err := c.Open("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sz, _ := cf.Size(); sz != 0 {
+		t.Fatalf("unsynced file survived crash with %d bytes", sz)
+	}
+}
+
+func TestMemTotalBytes(t *testing.T) {
+	m := NewMem()
+	f, _ := m.Create("a")
+	if _, err := f.Append(make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	g, _ := m.Create("b")
+	if _, err := g.Append(make([]byte, 50)); err != nil {
+		t.Fatal(err)
+	}
+	if m.TotalBytes() != 150 {
+		t.Fatalf("TotalBytes = %d", m.TotalBytes())
+	}
+	if err := m.Remove("a"); err != nil {
+		t.Fatal(err)
+	}
+	if m.TotalBytes() != 50 {
+		t.Fatalf("TotalBytes after remove = %d", m.TotalBytes())
+	}
+}
+
+func TestReadAtPastEOF(t *testing.T) {
+	m := NewMem()
+	f, _ := m.Create("a")
+	if _, err := f.Append([]byte("ab")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.ReadAt(make([]byte, 1), 5); err == nil {
+		t.Fatal("read past EOF succeeded")
+	}
+}

@@ -1,0 +1,131 @@
+// Package workload reimplements the semantics of the two unmodified
+// microbenchmarks the paper evaluates with (§IV): mdtest (parallel
+// create/stat/remove of zero-byte files in a single directory) and IOR
+// (parallel sequential/random data transfers, file-per-process or
+// shared-file). They drive the *real* file system through the client
+// library, so the functional plane is measured with the same access
+// patterns the simulation plane models at scale.
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/proto"
+)
+
+// ClientFactory mints one client per simulated benchmark process, like
+// mdtest ranks each linking the interposition library.
+type ClientFactory func() (*client.Client, error)
+
+// MDTestConfig shapes a metadata run.
+type MDTestConfig struct {
+	// Dir is the working directory (created if missing); all files land
+	// in this single directory — the paper's hardest PFS case.
+	Dir string
+	// Workers is the process count.
+	Workers int
+	// FilesPerWorker is the per-process file count.
+	FilesPerWorker int
+}
+
+// MDTestResult reports one phase triple.
+type MDTestResult struct {
+	// CreatesPerSec, StatsPerSec, RemovesPerSec are aggregate rates.
+	CreatesPerSec, StatsPerSec, RemovesPerSec float64
+	// Files is the total file count exercised.
+	Files int
+}
+
+// RunMDTest executes create, stat and remove phases with a barrier
+// between phases (mdtest's structure) and reports aggregate ops/s.
+func RunMDTest(factory ClientFactory, cfg MDTestConfig) (MDTestResult, error) {
+	if cfg.Workers <= 0 || cfg.FilesPerWorker <= 0 {
+		return MDTestResult{}, errors.New("workload: mdtest needs workers and files > 0")
+	}
+	setup, err := factory()
+	if err != nil {
+		return MDTestResult{}, err
+	}
+	if err := setup.Mkdir(cfg.Dir); err != nil && !errors.Is(err, proto.ErrExist) {
+		return MDTestResult{}, err
+	}
+
+	clients := make([]*client.Client, cfg.Workers)
+	for i := range clients {
+		c, err := factory()
+		if err != nil {
+			return MDTestResult{}, err
+		}
+		clients[i] = c
+	}
+	name := func(w, i int) string {
+		return fmt.Sprintf("%s/mdtest.%d.%d", cfg.Dir, w, i)
+	}
+
+	phase := func(fn func(w int) error) (float64, error) {
+		var wg sync.WaitGroup
+		errs := make([]error, cfg.Workers)
+		begin := time.Now()
+		for w := 0; w < cfg.Workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				errs[w] = fn(w)
+			}(w)
+		}
+		wg.Wait()
+		elapsed := time.Since(begin)
+		if err := errors.Join(errs...); err != nil {
+			return 0, err
+		}
+		total := float64(cfg.Workers * cfg.FilesPerWorker)
+		return total / elapsed.Seconds(), nil
+	}
+
+	res := MDTestResult{Files: cfg.Workers * cfg.FilesPerWorker}
+	res.CreatesPerSec, err = phase(func(w int) error {
+		c := clients[w]
+		for i := 0; i < cfg.FilesPerWorker; i++ {
+			fd, err := c.Open(name(w, i), client.O_WRONLY|client.O_CREATE|client.O_EXCL)
+			if err != nil {
+				return err
+			}
+			if err := c.Close(fd); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return res, fmt.Errorf("workload: mdtest create: %w", err)
+	}
+	res.StatsPerSec, err = phase(func(w int) error {
+		c := clients[w]
+		for i := 0; i < cfg.FilesPerWorker; i++ {
+			if _, err := c.Stat(name(w, i)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return res, fmt.Errorf("workload: mdtest stat: %w", err)
+	}
+	res.RemovesPerSec, err = phase(func(w int) error {
+		c := clients[w]
+		for i := 0; i < cfg.FilesPerWorker; i++ {
+			if err := c.Remove(name(w, i)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return res, fmt.Errorf("workload: mdtest remove: %w", err)
+	}
+	return res, nil
+}
