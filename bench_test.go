@@ -13,13 +13,20 @@ package repro
 
 import (
 	"fmt"
+	"net"
+	"sync"
 	"testing"
 	"time"
 
 	"repro/gekkofs"
+	"repro/internal/client"
+	"repro/internal/daemon"
 	"repro/internal/experiments"
 	"repro/internal/lustre"
+	"repro/internal/rpc"
 	"repro/internal/simcluster"
+	"repro/internal/transport"
+	"repro/internal/vfs"
 )
 
 const benchNodes = 32 // simulated node count per benchmark iteration
@@ -290,6 +297,93 @@ func BenchmarkRealRead1M(b *testing.B) {
 		if _, err := f.ReadAt(buf, int64(i%64)<<20); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// tcpCluster stands up daemons on loopback listeners and returns a
+// client whose per-daemon traffic is striped over conns TCP connections.
+func tcpCluster(b *testing.B, nodes, conns int) *client.Client {
+	b.Helper()
+	clientConns := make([]rpc.Conn, nodes)
+	for i := 0; i < nodes; i++ {
+		d, err := daemon.New(daemon.Config{ID: i, FS: vfs.NewMem()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { d.Close() })
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { l.Close() })
+		go transport.ServeTCP(l, d.Server())
+		conn, err := transport.DialTCPPool(l.Addr().String(), 60*time.Second, conns)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { conn.Close() })
+		clientConns[i] = conn
+	}
+	c, err := client.New(client.Config{Conns: clientConns})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := c.EnsureRoot(); err != nil {
+		b.Fatal(err)
+	}
+	return c
+}
+
+// BenchmarkRealTCPLargeIO compares large-I/O throughput over real TCP
+// sockets across transport pool sizes: 4 concurrent writers each moving
+// 4 MiB per op to 2 daemons. conns-1 is the single-socket baseline the
+// striped pool must match or beat (it serializes every bulk frame behind
+// one write mutex and one kernel send queue per daemon).
+func BenchmarkRealTCPLargeIO(b *testing.B) {
+	const (
+		workers = 4
+		ioSize  = 4 << 20
+	)
+	for _, conns := range []int{1, 2, 8} {
+		b.Run(fmt.Sprintf("conns-%d", conns), func(b *testing.B) {
+			c := tcpCluster(b, 2, conns)
+			fds := make([]int, workers)
+			buf := make([]byte, ioSize)
+			for w := range fds {
+				fd, err := c.Create(fmt.Sprintf("/w%d", w))
+				if err != nil {
+					b.Fatal(err)
+				}
+				fds[w] = fd
+				// Prime 64 MiB so reads hit data.
+				for off := int64(0); off < 64<<20; off += ioSize {
+					if _, err := c.WriteAt(fd, buf, off); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.SetBytes(int64(workers) * ioSize)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var wg sync.WaitGroup
+				for w := 0; w < workers; w++ {
+					wg.Add(1)
+					go func(w int) {
+						defer wg.Done()
+						p := make([]byte, ioSize)
+						off := int64((i*workers+w)%16) * ioSize
+						if _, err := c.WriteAt(fds[w], p, off); err != nil {
+							b.Error(err)
+							return
+						}
+						if _, err := c.ReadAt(fds[w], p, off); err != nil {
+							b.Error(err)
+						}
+					}(w)
+				}
+				wg.Wait()
+			}
+		})
 	}
 }
 

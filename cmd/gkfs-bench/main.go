@@ -55,6 +55,7 @@ func main() {
 	random := flag.Bool("random", false, "ior: random transfer order")
 	shared := flag.Bool("shared", false, "ior: one shared file (N-to-1)")
 	sizeCache := flag.Int("size-cache", 0, "client size-update cache (ops per flush; 0 = off)")
+	connsN := flag.Int("conns", 1, "striped transport connections per daemon")
 	verify := flag.Bool("verify", true, "ior: verify the read phase")
 	flag.Parse()
 
@@ -66,7 +67,7 @@ func main() {
 	var factory workload.ClientFactory
 	if *daemons == "" {
 		cluster, err := core.NewCluster(core.Config{
-			Nodes: *nodes, ChunkSize: chunk, SizeCacheOps: *sizeCache,
+			Nodes: *nodes, ChunkSize: chunk, SizeCacheOps: *sizeCache, Conns: *connsN,
 		})
 		if err != nil {
 			log.Fatalf("gkfs-bench: %v", err)
@@ -80,7 +81,7 @@ func main() {
 		factory = func() (*client.Client, error) {
 			conns := make([]rpc.Conn, len(addrs))
 			for i, a := range addrs {
-				conn, err := transport.DialTCP(strings.TrimSpace(a), 60*time.Second)
+				conn, err := transport.DialTCPPool(strings.TrimSpace(a), 60*time.Second, *connsN)
 				if err != nil {
 					return nil, err
 				}

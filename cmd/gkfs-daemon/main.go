@@ -6,7 +6,11 @@
 //
 // Clients (cmd/gkfs-shell, cmd/gkfs-bench) take the full daemon host
 // list and resolve responsibilities by hashing, so every daemon must be
-// started with a distinct -id matching its position in that list.
+// started with a distinct -id matching its position in that list. A
+// client may open several striped connections per daemon (its -conns
+// flag); each accepted connection is served independently, and a
+// connection sending a corrupt or hostile frame is closed rather than
+// resynchronized.
 package main
 
 import (

@@ -31,6 +31,7 @@ func main() {
 	daemons := flag.String("daemons", "127.0.0.1:7777", "comma-separated daemon addresses (cluster-wide order)")
 	chunk := flag.Int64("chunk", meta.DefaultChunkSize, "chunk size in bytes (must match the daemons)")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-RPC timeout")
+	connsN := flag.Int("conns", 1, "striped transport connections per daemon")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
@@ -40,7 +41,7 @@ func main() {
 	addrs := strings.Split(*daemons, ",")
 	conns := make([]rpc.Conn, len(addrs))
 	for i, a := range addrs {
-		conn, err := transport.DialTCP(strings.TrimSpace(a), *timeout)
+		conn, err := transport.DialTCPPool(strings.TrimSpace(a), *timeout, *connsN)
 		if err != nil {
 			fatal("dial %s: %v", a, err)
 		}

@@ -103,6 +103,12 @@ func WithSizeUpdateCache(ops int) Option { return func(c *core.Config) { c.SizeC
 // default) or "guided-first-chunk" (ablation A2 in DESIGN.md).
 func WithDistributor(name string) Option { return func(c *core.Config) { c.Distributor = name } }
 
+// WithConns stripes each client's per-daemon traffic over n transport
+// connections (default 1). On TCP deployments this is the knob that lets
+// concurrent bulk transfers to one daemon move in parallel instead of
+// serializing on a single socket.
+func WithConns(n int) Option { return func(c *core.Config) { c.Conns = n } }
+
 // Cluster is a running GekkoFS deployment.
 type Cluster struct {
 	c *core.Cluster

@@ -6,6 +6,7 @@
 package chunkstore
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strconv"
@@ -81,13 +82,18 @@ func (s *Store) WriteChunk(path string, id meta.ChunkID, offset int64, data []by
 // chunk-local offset. It returns the byte count actually present; a
 // missing chunk or an offset at or past the chunk file's end reads as
 // zero bytes (the client zero-fills sparse regions using the file size).
+// Only a genuinely absent chunk is a hole — any other open failure
+// (permissions, I/O error) propagates instead of silently reading zeros.
 func (s *Store) ReadChunk(path string, id meta.ChunkID, offset int64, dst []byte) (int, error) {
 	l := s.lockFor(path)
 	l.RLock()
 	defer l.RUnlock()
 	f, err := s.fs.Open(chunkFile(path, id))
-	if err != nil {
+	if errors.Is(err, vfs.ErrNotExist) {
 		return 0, nil // chunk never written: hole
+	}
+	if err != nil {
+		return 0, fmt.Errorf("chunkstore: read %s#%d: %w", path, id, err)
 	}
 	defer f.Close()
 	size, err := f.Size()

@@ -1,0 +1,49 @@
+package chunkstore
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/vfs"
+)
+
+// failOpenFS injects an Open error for every file, standing in for
+// permission or I/O failures on the node-local SSD.
+type failOpenFS struct {
+	vfs.FS
+	openErr error
+}
+
+func (f *failOpenFS) Open(name string) (vfs.File, error) {
+	if f.openErr != nil {
+		return nil, f.openErr
+	}
+	return f.FS.Open(name)
+}
+
+// TestReadChunkPropagatesOpenErrors is the regression test for chunk-open
+// errors being masked as holes: ReadChunk returned (0, nil) for *any*
+// Open failure, silently turning an I/O error into a run of zeros. Only a
+// genuinely missing chunk is a hole.
+func TestReadChunkPropagatesOpenErrors(t *testing.T) {
+	injected := errors.New("ssd: input/output error")
+	fs := &failOpenFS{FS: vfs.NewMem()}
+	s := New(fs)
+	if err := s.WriteChunk("/f", 0, 0, []byte("persisted")); err != nil {
+		t.Fatal(err)
+	}
+
+	fs.openErr = injected
+	dst := make([]byte, 9)
+	n, err := s.ReadChunk("/f", 0, 0, dst)
+	if !errors.Is(err, injected) {
+		t.Fatalf("ReadChunk = %d, %v; want the injected open error", n, err)
+	}
+
+	// A missing chunk is still a hole, not an error.
+	fs.openErr = nil
+	n, err = s.ReadChunk("/f", 99, 0, dst)
+	if n != 0 || err != nil {
+		t.Fatalf("missing chunk read = %d, %v; want 0, nil", n, err)
+	}
+}

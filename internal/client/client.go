@@ -21,6 +21,7 @@ import (
 	"os"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/distributor"
@@ -80,8 +81,22 @@ type openFile struct {
 	pos   int64
 
 	// Size-update cache state (active when Client.sizeCacheOps > 0).
-	pendingSize int64 // max unflushed size candidate; 0 = none
+	// pendingSize is the max unflushed size candidate (0 = none); it is
+	// atomic so lock-free readers (ReadAt's EOF clamp) can consult it.
+	pendingSize atomic.Int64
 	pendingOps  int
+}
+
+// sizeFloor returns the best known lower bound for the file size: the
+// server's view, raised by this descriptor's own unflushed size candidate.
+// Without it, consecutive cached appends would resolve EOF from the stale
+// server size and overwrite each other, and reads-after-cached-writes
+// would clamp short.
+func (of *openFile) sizeFloor(serverSize int64) int64 {
+	if ps := of.pendingSize.Load(); ps > serverSize {
+		return ps
+	}
+	return serverSize
 }
 
 // New builds a client.
@@ -324,7 +339,7 @@ func (c *Client) Seek(fd int, offset int64, whence int) (int64, error) {
 		if err != nil {
 			return 0, err
 		}
-		base = md.Size
+		base = of.sizeFloor(md.Size)
 	default:
 		return 0, proto.ErrInval
 	}
@@ -501,6 +516,22 @@ func (c *Client) Truncate(path string, size int64) error {
 	if _, err := c.call(c.dist.MetaTarget(p), proto.OpUpdateSize, e.Bytes(), nil, rpc.BulkNone); err != nil {
 		return err
 	}
+	// Unflushed size candidates beyond the new size are obsolete — the
+	// data they described is being discarded. Without this, the size
+	// floor (append/SEEK_END/read clamping) would resurrect the
+	// pre-truncate size on this client's open descriptors.
+	c.mu.Lock()
+	for _, of := range c.files {
+		if of.path == p {
+			for {
+				ps := of.pendingSize.Load()
+				if ps <= size || of.pendingSize.CompareAndSwap(ps, size) {
+					break
+				}
+			}
+		}
+	}
+	c.mu.Unlock()
 	te := rpc.NewEnc(len(p) + 12)
 	te.Str(p).I64(size)
 	return c.fanOut(func(node int) error {

@@ -11,7 +11,7 @@ import (
 	"repro/internal/vfs"
 )
 
-func newLocalCluster(t *testing.T, nodes int, cfg Config) *Client {
+func newLocalCluster(t testing.TB, nodes int, cfg Config) *Client {
 	t.Helper()
 	net := transport.NewMemNetwork()
 	conns := make([]rpc.Conn, nodes)

@@ -106,12 +106,16 @@ func (c *Client) Write(fd int, p []byte) (int, error) {
 	if of.flags&O_APPEND != 0 {
 		// Append resolves EOF with a stat; concurrent appenders may
 		// interleave (GekkoFS offers no atomic append — applications are
-		// responsible for avoiding conflicts, paper §III-A).
+		// responsible for avoiding conflicts, paper §III-A). The stat is
+		// raised by this descriptor's own unflushed size candidate: under
+		// the size-update cache the server's view lags, and resolving EOF
+		// from it alone made consecutive cached appends overwrite each
+		// other.
 		md, err := c.statPath(of.path)
 		if err != nil {
 			return 0, err
 		}
-		off = md.Size
+		off = of.sizeFloor(md.Size)
 	}
 	if err := c.writeSpansLocked(of, p, off); err != nil {
 		return 0, err
@@ -135,12 +139,14 @@ func (c *Client) writeSpansLocked(of *openFile, p []byte, off int64) error {
 		e.Str(of.path)
 		proto.EncodeSpans(e, g.spans)
 		// Concatenate this daemon's spans; the bulk region is what the
-		// daemon pulls (RDMA-read in the paper's deployment).
-		bulk := make([]byte, 0, g.bytes)
+		// daemon pulls (RDMA-read in the paper's deployment). The buffer
+		// is pooled — the transport is done with it once Call returns.
+		bulk := rpc.GetBuf(int(g.bytes))[:0]
 		for i, s := range g.spans {
 			bulk = append(bulk, p[g.bufOff[i]:g.bufOff[i]+s.Len]...)
 		}
 		d, err := c.call(node, proto.OpWriteChunks, e.Bytes(), bulk, rpc.BulkIn)
+		rpc.PutBuf(bulk)
 		if err != nil {
 			return err
 		}
@@ -164,8 +170,8 @@ func (c *Client) writeSpansLocked(of *openFile, p []byte, off int64) error {
 // size-update cache (§IV-B) which flushes every sizeCacheOps writes.
 func (c *Client) growSizeLocked(of *openFile, candidate int64) error {
 	if c.sizeCacheOps > 0 {
-		if candidate > of.pendingSize {
-			of.pendingSize = candidate
+		if candidate > of.pendingSize.Load() {
+			of.pendingSize.Store(candidate)
 		}
 		of.pendingOps++
 		if of.pendingOps < c.sizeCacheOps {
@@ -181,10 +187,15 @@ func (c *Client) flushSizeLocked(of *openFile) error {
 	if of.pendingOps == 0 {
 		return nil
 	}
-	candidate := of.pendingSize
+	candidate := of.pendingSize.Load()
 	of.pendingOps = 0
-	of.pendingSize = 0
-	return c.sendGrow(of.path, candidate)
+	if err := c.sendGrow(of.path, candidate); err != nil {
+		return err
+	}
+	// Cleared only after the server has the candidate, so concurrent
+	// readers never see a window where neither side knows the size.
+	of.pendingSize.Store(0)
+	return nil
 }
 
 func (c *Client) sendGrow(path string, candidate int64) error {
@@ -228,9 +239,10 @@ func (c *Client) Read(fd int, p []byte) (int, error) {
 }
 
 // readSpans clamps [off, off+len(p)) against the file size (one stat RPC
-// — the synchronous, cache-less protocol) and gathers the chunk spans
-// from their daemons. Regions never written inside the size read as
-// zeros.
+// — the synchronous, cache-less protocol, raised by the descriptor's own
+// unflushed size candidate under the size-update cache) and gathers the
+// chunk spans from their daemons. Regions never written inside the size
+// read as zeros.
 func (c *Client) readSpans(of *openFile, p []byte, off int64) (int, error) {
 	if len(p) == 0 {
 		return 0, nil
@@ -239,24 +251,27 @@ func (c *Client) readSpans(of *openFile, p []byte, off int64) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	if off >= md.Size {
+	size := of.sizeFloor(md.Size)
+	if off >= size {
 		return 0, io.EOF
 	}
 	n := int64(len(p))
-	if off+n > md.Size {
-		n = md.Size - off
+	if off+n > size {
+		n = size - off
 	}
-	// Zero-fill the requested window: daemons only return bytes that
-	// exist in chunk files; holes stay zero.
-	for i := int64(0); i < n; i++ {
-		p[i] = 0
-	}
+	// No up-front zero-fill of p: the spans below cover [off, off+n)
+	// exactly, and each group's cleared bulk buffer is copied over its
+	// full span lengths, so every byte of p[:n] is overwritten — holes
+	// arrive as zeros from the (cleared) bulk region. The old code
+	// zeroed the window byte-at-a-time and then overwrote it anyway.
 	groups := c.groupByTarget(of.path, off, n)
 	err = runGroups(groups, func(node int, g *targetGroup) error {
 		e := rpc.NewEnc(len(of.path) + 16 + 24*len(g.spans))
 		e.Str(of.path)
 		proto.EncodeSpans(e, g.spans)
-		bulk := make([]byte, g.bytes)
+		bulk := rpc.GetBuf(int(g.bytes))
+		defer rpc.PutBuf(bulk)
+		clear(bulk) // pooled: a short server push must still read as zeros
 		d, err := c.call(node, proto.OpReadChunks, e.Bytes(), bulk, rpc.BulkOut)
 		if err != nil {
 			return err

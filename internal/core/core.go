@@ -41,6 +41,12 @@ type Config struct {
 	// SizeCacheOps configures clients' size-update caching (paper
 	// §IV-B); zero keeps strict synchronous updates.
 	SizeCacheOps int
+	// Conns is the number of transport connections each client stripes
+	// its per-daemon traffic over (see transport.Pool). Zero or one keeps
+	// a single connection per daemon. In-process deployments gain little
+	// from striping; the knob mirrors the TCP deployments' -conns flag so
+	// both planes run the same code path.
+	Conns int
 	// Distributor names the placement pattern: "" or "simplehash" for
 	// the paper's hashing, "guided-first-chunk" for the co-located
 	// first-chunk variant.
@@ -173,6 +179,13 @@ func (c *Cluster) dist() (distributor.Distributor, error) {
 func (c *Cluster) newClient() (*client.Client, error) {
 	conns := make([]rpc.Conn, c.cfg.Nodes)
 	for i := range conns {
+		if c.cfg.Conns > 1 {
+			node := i
+			conns[i] = transport.NewPool(c.cfg.Conns, func() (rpc.Conn, error) {
+				return c.net.Dial(node)
+			})
+			continue
+		}
 		conn, err := c.net.Dial(i)
 		if err != nil {
 			return nil, err

@@ -3,6 +3,8 @@ package daemon
 import (
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/kvstore"
 	"repro/internal/meta"
@@ -169,6 +171,70 @@ func (d *Daemon) handleUpdateSize(req []byte, _ rpc.Bulk) ([]byte, error) {
 	return okResp(0).Bytes(), nil
 }
 
+// maxSpanBytes bounds one chunk RPC's total span bytes (mirrors the TCP
+// transport's frame limit). Summing attacker-supplied span lengths with
+// plain int64 arithmetic can wrap negative and slip past the bulk-length
+// guard, so totals are validated span by span.
+const maxSpanBytes = 128 << 20
+
+// spanTotal sums span lengths, rejecting any request whose total could
+// not have arrived through a sane transport.
+func spanTotal(path string, spans []proto.ChunkSpan) (int64, error) {
+	var total int64
+	for _, s := range spans {
+		if s.Len < 0 || s.Len > maxSpanBytes {
+			return 0, fmt.Errorf("chunks %s: span length %d out of range", path, s.Len)
+		}
+		total += s.Len
+		if total > maxSpanBytes {
+			return 0, fmt.Errorf("chunks %s: span total exceeds %d", path, int64(maxSpanBytes))
+		}
+	}
+	return total, nil
+}
+
+// maxSpanWorkers bounds per-request chunk-file parallelism. Spans within
+// one RPC touch distinct chunk files of the same path, which chunkstore
+// serves under a shared read lock, so they can proceed concurrently —
+// engaging the node-local SSD's internal parallelism instead of issuing
+// one synchronous file I/O at a time.
+const maxSpanWorkers = 8
+
+// forEachSpan runs fn over every span, with its index and its byte offset
+// into the request's concatenated bulk region. Multi-span requests fan
+// out over a bounded worker set; the first error wins, but all spans are
+// attempted.
+func forEachSpan(spans []proto.ChunkSpan, fn func(i int, s proto.ChunkSpan, off int64) error) error {
+	if len(spans) == 1 {
+		return fn(0, spans[0], 0)
+	}
+	offs := make([]int64, len(spans))
+	var off int64
+	for i, s := range spans {
+		offs[i] = off
+		off += s.Len
+	}
+	workers := min(len(spans), maxSpanWorkers)
+	errs := make([]error, len(spans))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(spans) {
+					return
+				}
+				errs[i] = fn(i, spans[i], offs[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
 func (d *Daemon) handleWriteChunks(req []byte, bulk rpc.Bulk) ([]byte, error) {
 	dec := rpc.NewDec(req)
 	path := dec.Str()
@@ -176,20 +242,23 @@ func (d *Daemon) handleWriteChunks(req []byte, bulk rpc.Bulk) ([]byte, error) {
 	if err := dec.Done(); err != nil {
 		return nil, err
 	}
-	total := proto.SpanBytes(spans)
+	total, err := spanTotal(path, spans)
+	if err != nil {
+		return nil, err
+	}
 	if bulk == nil || int64(bulk.Len()) < total {
 		return nil, fmt.Errorf("write %s: bulk region %d short of %d", path, bulkLen(bulk), total)
 	}
-	data := make([]byte, total)
+	data := rpc.GetBuf(int(total))
+	defer rpc.PutBuf(data)
 	if err := bulk.Pull(data); err != nil {
 		return nil, err
 	}
-	var off int64
-	for _, s := range spans {
-		if err := d.chunks.WriteChunk(path, s.ID, s.Off, data[off:off+s.Len]); err != nil {
-			return nil, err
-		}
-		off += s.Len
+	err = forEachSpan(spans, func(_ int, s proto.ChunkSpan, off int64) error {
+		return d.chunks.WriteChunk(path, s.ID, s.Off, data[off:off+s.Len])
+	})
+	if err != nil {
+		return nil, err
 	}
 	d.writeOps.Add(1)
 	d.writeBytes.Add(uint64(total))
@@ -205,20 +274,30 @@ func (d *Daemon) handleReadChunks(req []byte, bulk rpc.Bulk) ([]byte, error) {
 	if err := dec.Done(); err != nil {
 		return nil, err
 	}
-	total := proto.SpanBytes(spans)
+	total, err := spanTotal(path, spans)
+	if err != nil {
+		return nil, err
+	}
 	if bulk == nil || int64(bulk.Len()) < total {
 		return nil, fmt.Errorf("read %s: bulk region %d short of %d", path, bulkLen(bulk), total)
 	}
-	data := make([]byte, total) // zero-filled: holes read as zeros
+	data := rpc.GetBuf(int(total))
+	defer rpc.PutBuf(data)
 	counts := make([]int64, len(spans))
-	var off int64
-	for i, s := range spans {
-		n, err := d.chunks.ReadChunk(path, s.ID, s.Off, data[off:off+s.Len])
+	err = forEachSpan(spans, func(i int, s proto.ChunkSpan, off int64) error {
+		dst := data[off : off+s.Len]
+		n, err := d.chunks.ReadChunk(path, s.ID, s.Off, dst)
 		if err != nil {
-			return nil, err
+			return err
 		}
+		// The staging buffer is pooled (dirty); bytes past what the chunk
+		// file holds are holes and must read as zeros.
+		clear(dst[n:])
 		counts[i] = int64(n)
-		off += s.Len
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	if err := bulk.Push(data); err != nil {
 		return nil, err

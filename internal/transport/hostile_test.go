@@ -1,0 +1,151 @@
+package transport
+
+import (
+	"encoding/binary"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/rpc"
+)
+
+// Regression tests for length-prefix overflow in frame parsing: a payload
+// length near 0xFFFFFFFF made plen+4 wrap past the truncation check and
+// panicked the daemon (or the client's read loop) on p[:plen]. Corrupt
+// frames must close the connection and leave the server serving.
+
+// rawRequest frames a request with arbitrary header fields: the inner
+// lengths need not match the bytes actually present.
+func rawRequest(dir byte, plen, blen uint32, hasBlen bool, tail int) []byte {
+	body := make([]byte, 0, 32+tail)
+	body = binary.LittleEndian.AppendUint64(body, 1) // reqID
+	body = binary.LittleEndian.AppendUint16(body, 1) // op
+	body = append(body, dir)
+	body = binary.LittleEndian.AppendUint32(body, plen)
+	if hasBlen {
+		body = binary.LittleEndian.AppendUint32(body, blen)
+	}
+	body = append(body, make([]byte, tail)...)
+	out := binary.LittleEndian.AppendUint32(nil, uint32(len(body)))
+	return append(out, body...)
+}
+
+// sendRaw writes frame to addr and reports whether the server closed the
+// connection afterwards.
+func sendRaw(t *testing.T, addr string, frame []byte) bool {
+	t.Helper()
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Write(frame); err != nil {
+		return true
+	}
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	_, err = c.Read(make([]byte, 1))
+	if err == nil {
+		return false
+	}
+	if ne, ok := err.(net.Error); ok && ne.Timeout() {
+		return false
+	}
+	return true
+}
+
+func TestHostileFramesCloseConnection(t *testing.T) {
+	srv := newTestServer()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go ServeTCP(l, srv)
+	addr := l.Addr().String()
+
+	cases := []struct {
+		name  string
+		frame []byte
+	}{
+		// plen+4 wraps to 1 under u32 arithmetic; the old check passed and
+		// p[:plen] panicked the handler goroutine (taking the daemon down).
+		{"payload-len-wrap", rawRequest(byte(rpc.BulkNone), 0xFFFFFFFD, 0, false, 8)},
+		// Bulk length beyond the remaining frame on the write path.
+		{"bulk-len-overrun", rawRequest(byte(rpc.BulkIn), 0, 0xFFFFFFFF, true, 2)},
+		// A BulkOut budget above maxFrame must not be honored (the old
+		// code materialized it outright — a 4 GiB allocation per frame).
+		{"huge-bulkout-budget", rawRequest(byte(rpc.BulkOut), 0, 0xFFFFFFF0, true, 0)},
+		// Frame shorter than the fixed request header.
+		{"truncated-header", append(binary.LittleEndian.AppendUint32(nil, 5), make([]byte, 5)...)},
+		// Direction byte outside the BulkDir range.
+		{"invalid-direction", rawRequest(9, 0, 0, true, 0)},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if !sendRaw(t, addr, tc.frame) {
+				t.Fatal("server kept the connection open after a corrupt frame")
+			}
+			// The daemon survives: a fresh, legitimate connection works.
+			c, err := DialTCP(addr, 5*time.Second)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+			resp, err := c.Call(opEcho, []byte("alive"), nil, rpc.BulkNone)
+			if err != nil || string(resp) != "echo:alive" {
+				t.Fatalf("post-hostile call = %q, %v", resp, err)
+			}
+		})
+	}
+}
+
+// TestHostileResponseFailsClientCleanly serves a corrupt response whose
+// payload length would wrap; the client must surface a connection error,
+// not panic its read loop.
+func TestHostileResponseFailsClientCleanly(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		// Read the request frame to learn the request id.
+		hdr := make([]byte, 4)
+		if _, err := io.ReadFull(c, hdr); err != nil {
+			return
+		}
+		body := make([]byte, binary.LittleEndian.Uint32(hdr))
+		if _, err := io.ReadFull(c, body); err != nil {
+			return
+		}
+		reqID := binary.LittleEndian.Uint64(body)
+		// Respond with plen = 0xFFFFFFFE: plen+4 wraps to 2.
+		resp := make([]byte, 0, 32)
+		resp = binary.LittleEndian.AppendUint64(resp, reqID)
+		resp = append(resp, 0) // status OK
+		resp = binary.LittleEndian.AppendUint32(resp, 0xFFFFFFFE)
+		resp = append(resp, make([]byte, 8)...)
+		out := binary.LittleEndian.AppendUint32(nil, uint32(len(resp)))
+		c.Write(append(out, resp...))
+	}()
+
+	c, err := DialTCP(l.Addr().String(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Call(opEcho, []byte("x"), nil, rpc.BulkNone); err == nil {
+		t.Fatal("corrupt response did not surface an error")
+	}
+	// The connection is condemned, not the process.
+	if _, err := c.Call(opEcho, []byte("y"), nil, rpc.BulkNone); err == nil {
+		t.Fatal("condemned connection accepted another call")
+	}
+}

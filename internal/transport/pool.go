@@ -1,0 +1,136 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/rpc"
+)
+
+// Pool stripes calls for one server across several underlying
+// connections. A single TCP socket serializes every bulk frame behind one
+// write mutex and one kernel send queue; with N sockets, large transfers
+// from concurrent callers move in parallel — the per-node transport
+// parallelism wide striping needs (paper §III-B, Fig. 4).
+//
+// Requests are spread round-robin by request id. A connection condemned
+// by a transport failure is closed and lazily re-dialed on the next call
+// that lands on its slot; handler errors and call timeouts do not condemn
+// the connection.
+type Pool struct {
+	dial   func() (rpc.Conn, error)
+	next   atomic.Uint64
+	slots  []poolSlot
+	closed atomic.Bool
+}
+
+type poolSlot struct {
+	mu   sync.Mutex
+	conn rpc.Conn
+}
+
+// ErrPoolClosed reports a call into a closed pool.
+var ErrPoolClosed = errors.New("transport: pool closed")
+
+// NewPool returns a pool of n connections obtained from dial, all dialed
+// lazily. n < 1 selects 1.
+func NewPool(n int, dial func() (rpc.Conn, error)) *Pool {
+	if n < 1 {
+		n = 1
+	}
+	return &Pool{dial: dial, slots: make([]poolSlot, n)}
+}
+
+// DialTCPPool connects a pool of n striped TCP connections to addr. The
+// first connection is dialed eagerly so address and reachability errors
+// surface immediately; the rest come up on first use. n <= 1 degenerates
+// to a single connection with reconnect-on-failure.
+func DialTCPPool(addr string, timeout time.Duration, n int) (rpc.Conn, error) {
+	p := NewPool(n, func() (rpc.Conn, error) { return DialTCP(addr, timeout) })
+	conn, err := p.dial()
+	if err != nil {
+		return nil, err
+	}
+	p.slots[0].conn = conn
+	return p, nil
+}
+
+// Size returns the number of connection slots.
+func (p *Pool) Size() int { return len(p.slots) }
+
+// Call implements rpc.Conn, forwarding to the slot selected by the next
+// request id.
+func (p *Pool) Call(op rpc.Op, payload, bulk []byte, dir rpc.BulkDir) ([]byte, error) {
+	if p.closed.Load() {
+		return nil, ErrPoolClosed
+	}
+	s := &p.slots[(p.next.Add(1)-1)%uint64(len(p.slots))]
+	conn, err := p.acquire(s)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := conn.Call(op, payload, bulk, dir)
+	if err != nil && condemns(err) {
+		p.invalidate(s, conn)
+	}
+	return resp, err
+}
+
+// acquire returns the slot's connection, dialing one if the slot is empty
+// (first use, or the previous connection was condemned).
+func (p *Pool) acquire(s *poolSlot) (rpc.Conn, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.conn != nil {
+		return s.conn, nil
+	}
+	if p.closed.Load() {
+		return nil, ErrPoolClosed
+	}
+	conn, err := p.dial()
+	if err != nil {
+		return nil, fmt.Errorf("transport: pool dial: %w", err)
+	}
+	s.conn = conn
+	return conn, nil
+}
+
+// condemns reports whether err means the connection itself is unusable.
+// Remote handler errors and call timeouts leave the socket healthy.
+func condemns(err error) bool {
+	var re *rpc.RemoteError
+	return !errors.As(err, &re) && !errors.Is(err, ErrTimeout)
+}
+
+// invalidate empties the slot if it still holds conn, so the next call
+// landing there re-dials.
+func (p *Pool) invalidate(s *poolSlot, conn rpc.Conn) {
+	s.mu.Lock()
+	if s.conn == conn {
+		s.conn = nil
+	}
+	s.mu.Unlock()
+	conn.Close()
+}
+
+// Close implements rpc.Conn, closing every dialed connection. Subsequent
+// calls fail with ErrPoolClosed.
+func (p *Pool) Close() error {
+	p.closed.Store(true)
+	var errs []error
+	for i := range p.slots {
+		s := &p.slots[i]
+		s.mu.Lock()
+		if s.conn != nil {
+			if err := s.conn.Close(); err != nil {
+				errs = append(errs, err)
+			}
+			s.conn = nil
+		}
+		s.mu.Unlock()
+	}
+	return errors.Join(errs...)
+}

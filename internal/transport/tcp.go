@@ -23,11 +23,24 @@ import (
 // dir is the rpc.BulkDir; bulk bytes travel client→server only for BulkIn
 // and server→client only for BulkOut. status 0 is success; status 1
 // carries a handler error message in the payload.
+//
+// Every length field is validated without arithmetic that can wrap: a
+// frame whose inner lengths disagree with its outer length closes the
+// connection — the stream position is unknowable after a corrupt prefix,
+// so resynchronizing is impossible and dangerous.
 
 // maxFrame guards against corrupt length prefixes (64 MiB transfer + slack).
 const maxFrame = 128 << 20
 
 var errFrameTooBig = errors.New("transport: frame exceeds limit")
+
+// ErrTimeout reports a call that outlived the dial-configured wait. The
+// connection itself remains usable (the late response is drained and
+// discarded).
+var ErrTimeout = errors.New("transport: call timed out")
+
+const minRequestLen = 8 + 2 + 1 + 4 // reqID + op + dir + payloadLen
+const minResponseLen = 8 + 1 + 4    // reqID + status + payloadLen
 
 // ServeTCP accepts connections on l and serves srv until l is closed.
 // It returns the first accept error (net.ErrClosed after a clean stop).
@@ -50,16 +63,20 @@ func serveConn(conn net.Conn, srv *rpc.Server) {
 			return
 		}
 		go func(frame []byte) {
-			reqID, op, dir, payload, bulkIn, err := parseRequest(frame)
+			defer rpc.PutBuf(frame)
+			reqID, op, dir, payload, bulkIn, outLen, err := parseRequest(frame)
 			if err != nil {
-				return // protocol violation; drop the request
+				// Corrupt or hostile frame: the stream is unrecoverable,
+				// tear the connection down instead of guessing.
+				conn.Close()
+				return
 			}
-			bulk := &tcpServerBulk{dir: dir, in: bulkIn, outLen: len(bulkIn)}
-			if dir == rpc.BulkOut {
-				bulk.out = make([]byte, 0, bulk.outLen)
-			}
+			bulk := &tcpServerBulk{dir: dir, in: bulkIn, outLen: outLen}
 			resp, herr := srv.Dispatch(op, payload, bulkFor(bulk, dir))
 			writeResponse(conn, &wmu, reqID, resp, bulk.out, herr)
+			if bulk.out != nil {
+				rpc.PutBuf(bulk.out)
+			}
 		}(frame)
 	}
 }
@@ -100,6 +117,9 @@ func (b *tcpServerBulk) Push(p []byte) error {
 	}
 	if len(p) > b.outLen {
 		return fmt.Errorf("transport: bulk push of %d exceeds exposed %d", len(p), b.outLen)
+	}
+	if b.out == nil {
+		b.out = rpc.GetBuf(len(p))
 	}
 	b.out = append(b.out[:0], p...)
 	return nil
@@ -144,6 +164,7 @@ type tcpConn struct {
 type tcpResult struct {
 	payload []byte
 	bulk    []byte
+	frame   []byte // pooled backing of bulk; recycled by the receiver
 	err     error
 }
 
@@ -172,6 +193,7 @@ func (c *tcpConn) Call(op rpc.Op, payload, bulk []byte, dir rpc.BulkDir) ([]byte
 	c.wmu.Lock()
 	_, err := c.conn.Write(frame)
 	c.wmu.Unlock()
+	rpc.PutBuf(frame)
 	if err != nil {
 		c.drop(id)
 		return nil, err
@@ -192,10 +214,13 @@ func (c *tcpConn) Call(op rpc.Op, payload, bulk []byte, dir rpc.BulkDir) ([]byte
 		if dir == rpc.BulkOut && len(res.bulk) > 0 {
 			copy(bulk, res.bulk)
 		}
+		if res.frame != nil {
+			rpc.PutBuf(res.frame)
+		}
 		return res.payload, nil
 	case <-timeoutCh:
 		c.drop(id)
-		return nil, fmt.Errorf("transport: call %d op %d timed out after %v", id, op, c.timeout)
+		return nil, fmt.Errorf("%w: call %d op %d after %v", ErrTimeout, id, op, c.timeout)
 	}
 }
 
@@ -224,6 +249,7 @@ func (c *tcpConn) readLoop() {
 		}
 		id, status, payload, bulk, err := parseResponse(frame)
 		if err != nil {
+			rpc.PutBuf(frame)
 			c.fail(err)
 			return
 		}
@@ -232,13 +258,19 @@ func (c *tcpConn) readLoop() {
 		delete(c.pending, id)
 		c.mu.Unlock()
 		if !ok {
-			continue // timed-out call's late response
+			rpc.PutBuf(frame) // timed-out call's late response
+			continue
 		}
-		res := tcpResult{payload: payload, bulk: bulk}
 		if status != 0 {
-			res = tcpResult{err: &rpc.RemoteError{Msg: string(payload)}}
+			msg := string(payload)
+			rpc.PutBuf(frame)
+			ch <- tcpResult{err: &rpc.RemoteError{Msg: msg}}
+			continue
 		}
-		ch <- res
+		// The payload escapes to the caller, so it is copied out of the
+		// pooled frame; the (potentially large) bulk bytes stay in the
+		// frame, which the caller recycles after consuming them.
+		ch <- tcpResult{payload: append([]byte(nil), payload...), bulk: bulk, frame: frame}
 	}
 }
 
@@ -256,6 +288,8 @@ func (c *tcpConn) fail(err error) {
 
 // --- framing ---
 
+// readFrame reads one length-prefixed frame into a pooled buffer. The
+// caller owns the frame and must release it with rpc.PutBuf.
 func readFrame(r io.Reader) ([]byte, error) {
 	var lenBuf [4]byte
 	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
@@ -265,17 +299,20 @@ func readFrame(r io.Reader) ([]byte, error) {
 	if n > maxFrame {
 		return nil, errFrameTooBig
 	}
-	frame := make([]byte, n)
+	frame := rpc.GetBuf(int(n))
 	if _, err := io.ReadFull(r, frame); err != nil {
+		rpc.PutBuf(frame)
 		return nil, err
 	}
 	return frame, nil
 }
 
+// buildRequest assembles a request frame in a pooled buffer; the caller
+// releases it with rpc.PutBuf after writing it out.
 func buildRequest(id uint64, op rpc.Op, dir rpc.BulkDir, payload, bulk []byte, bulkLen int) []byte {
-	rest := 8 + 2 + 1 + 4 + len(payload) + 4 + len(bulk)
-	out := make([]byte, 4, 4+rest)
-	binary.LittleEndian.PutUint32(out, uint32(rest))
+	rest := minRequestLen + len(payload) + 4 + len(bulk)
+	out := rpc.GetBuf(4 + rest)[:0]
+	out = binary.LittleEndian.AppendUint32(out, uint32(rest))
 	out = binary.LittleEndian.AppendUint64(out, id)
 	out = binary.LittleEndian.AppendUint16(out, uint16(op))
 	out = append(out, byte(dir))
@@ -291,34 +328,47 @@ func buildRequest(id uint64, op rpc.Op, dir rpc.BulkDir, payload, bulk []byte, b
 	return out
 }
 
-func parseRequest(frame []byte) (id uint64, op rpc.Op, dir rpc.BulkDir, payload, bulk []byte, err error) {
-	if len(frame) < 8+2+1+4 {
-		return 0, 0, 0, nil, nil, rpc.ErrTruncated
+// parseRequest decodes a request frame. Length fields are checked against
+// the remaining frame without addition, so a length near the u32 maximum
+// cannot wrap past the truncation check (it previously panicked the
+// daemon). For BulkOut the advertised region is size-only — it is never
+// materialized, so a hostile budget cannot force a giant allocation; it
+// is still bounded by maxFrame because the response must carry it back.
+func parseRequest(frame []byte) (id uint64, op rpc.Op, dir rpc.BulkDir, payload, bulk []byte, outLen int, err error) {
+	if len(frame) < minRequestLen {
+		return 0, 0, 0, nil, nil, 0, rpc.ErrTruncated
 	}
 	id = binary.LittleEndian.Uint64(frame)
 	op = rpc.Op(binary.LittleEndian.Uint16(frame[8:]))
 	dir = rpc.BulkDir(frame[10])
+	if dir > rpc.BulkOut {
+		return 0, 0, 0, nil, nil, 0, fmt.Errorf("transport: invalid bulk direction %d", dir)
+	}
 	p := frame[11:]
 	plen := binary.LittleEndian.Uint32(p)
 	p = p[4:]
-	if uint32(len(p)) < plen+4 {
-		return 0, 0, 0, nil, nil, rpc.ErrTruncated
+	if uint64(plen) > uint64(len(p)) {
+		return 0, 0, 0, nil, nil, 0, rpc.ErrTruncated
 	}
 	payload = p[:plen]
 	p = p[plen:]
+	if len(p) < 4 {
+		return 0, 0, 0, nil, nil, 0, rpc.ErrTruncated
+	}
 	blen := binary.LittleEndian.Uint32(p)
 	p = p[4:]
 	if dir == rpc.BulkIn {
-		if uint32(len(p)) < blen {
-			return 0, 0, 0, nil, nil, rpc.ErrTruncated
+		if uint64(blen) > uint64(len(p)) {
+			return 0, 0, 0, nil, nil, 0, rpc.ErrTruncated
 		}
 		bulk = p[:blen]
-	} else {
-		// The region is size-only; materialize the advertised length so
-		// tcpServerBulk knows the push budget.
-		bulk = make([]byte, blen)
+	} else if dir == rpc.BulkOut {
+		if blen > maxFrame {
+			return 0, 0, 0, nil, nil, 0, errFrameTooBig
+		}
+		outLen = int(blen)
 	}
-	return id, op, dir, payload, bulk, nil
+	return id, op, dir, payload, bulk, outLen, nil
 }
 
 func writeResponse(conn net.Conn, wmu *sync.Mutex, id uint64, payload, bulk []byte, herr error) {
@@ -328,9 +378,17 @@ func writeResponse(conn net.Conn, wmu *sync.Mutex, id uint64, payload, bulk []by
 		payload = []byte(herr.Error())
 		bulk = nil
 	}
-	rest := 8 + 1 + 4 + len(payload) + 4 + len(bulk)
-	out := make([]byte, 4, 4+rest)
-	binary.LittleEndian.PutUint32(out, uint32(rest))
+	rest := minResponseLen + len(payload) + 4 + len(bulk)
+	if rest > maxFrame {
+		// The client's readFrame would reject this frame and condemn the
+		// whole connection; degrade to a per-call error instead.
+		status = 1
+		payload = []byte(errFrameTooBig.Error())
+		bulk = nil
+		rest = minResponseLen + len(payload) + 4
+	}
+	out := rpc.GetBuf(4 + rest)[:0]
+	out = binary.LittleEndian.AppendUint32(out, uint32(rest))
 	out = binary.LittleEndian.AppendUint64(out, id)
 	out = append(out, status)
 	out = binary.LittleEndian.AppendUint32(out, uint32(len(payload)))
@@ -339,13 +397,17 @@ func writeResponse(conn net.Conn, wmu *sync.Mutex, id uint64, payload, bulk []by
 	out = append(out, bulk...)
 
 	wmu.Lock()
-	defer wmu.Unlock()
 	// A write error tears down the connection via the read side.
 	_, _ = conn.Write(out)
+	wmu.Unlock()
+	rpc.PutBuf(out)
 }
 
+// parseResponse decodes a response frame with the same wrap-proof length
+// validation as parseRequest (a corrupt response previously panicked the
+// client's read loop).
 func parseResponse(frame []byte) (id uint64, status byte, payload, bulk []byte, err error) {
-	if len(frame) < 8+1+4 {
+	if len(frame) < minResponseLen {
 		return 0, 0, nil, nil, rpc.ErrTruncated
 	}
 	id = binary.LittleEndian.Uint64(frame)
@@ -353,14 +415,17 @@ func parseResponse(frame []byte) (id uint64, status byte, payload, bulk []byte, 
 	p := frame[9:]
 	plen := binary.LittleEndian.Uint32(p)
 	p = p[4:]
-	if uint32(len(p)) < plen+4 {
+	if uint64(plen) > uint64(len(p)) {
 		return 0, 0, nil, nil, rpc.ErrTruncated
 	}
 	payload = p[:plen]
 	p = p[plen:]
+	if len(p) < 4 {
+		return 0, 0, nil, nil, rpc.ErrTruncated
+	}
 	blen := binary.LittleEndian.Uint32(p)
 	p = p[4:]
-	if uint32(len(p)) < blen {
+	if uint64(blen) > uint64(len(p)) {
 		return 0, 0, nil, nil, rpc.ErrTruncated
 	}
 	bulk = p[:blen]

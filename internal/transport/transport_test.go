@@ -78,7 +78,13 @@ func conns(t *testing.T) map[string]rpc.Conn {
 	}
 	t.Cleanup(func() { tcpConn.Close() })
 
-	return map[string]rpc.Conn{"mem": memConn, "tcp": tcpConn}
+	poolConn, err := DialTCPPool(l.Addr().String(), 5*time.Second, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { poolConn.Close() })
+
+	return map[string]rpc.Conn{"mem": memConn, "tcp": tcpConn, "tcp-pool": poolConn}
 }
 
 func TestEcho(t *testing.T) {
