@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/client"
 	"repro/internal/core"
+	"repro/internal/distributor"
 	"repro/internal/rpc"
 	"repro/internal/transport"
 	"repro/internal/workload"
@@ -56,6 +57,10 @@ func main() {
 	shared := flag.Bool("shared", false, "ior: one shared file (N-to-1)")
 	sizeCache := flag.Int("size-cache", 0, "client size-update cache (ops per flush; 0 = off)")
 	connsN := flag.Int("conns", 1, "striped transport connections per daemon")
+	distName := flag.String("distributor", "simplehash", "placement pattern: simplehash | guided-first-chunk")
+	batch := flag.Int("batch", 0, "mdtest: ops per batched metadata RPC (0/1 = per-op protocol)")
+	dataDir := flag.String("datadir", "", "in-process cluster: persist daemon state under this directory (default: volatile in-memory)")
+	syncWAL := flag.Bool("syncwal", false, "in-process cluster: fsync metadata WAL before acknowledging (the paper's synchronous operating point)")
 	verify := flag.Bool("verify", true, "ior: verify the read phase")
 	flag.Parse()
 
@@ -68,6 +73,7 @@ func main() {
 	if *daemons == "" {
 		cluster, err := core.NewCluster(core.Config{
 			Nodes: *nodes, ChunkSize: chunk, SizeCacheOps: *sizeCache, Conns: *connsN,
+			Distributor: *distName, DataDir: *dataDir, SyncWAL: *syncWAL,
 		})
 		if err != nil {
 			log.Fatalf("gkfs-bench: %v", err)
@@ -78,6 +84,10 @@ func main() {
 		factory = func() (*client.Client, error) { return cluster.NewClient() }
 	} else {
 		addrs := strings.Split(*daemons, ",")
+		dist, err := distributor.New(*distName, len(addrs))
+		if err != nil {
+			log.Fatalf("gkfs-bench: %v", err)
+		}
 		factory = func() (*client.Client, error) {
 			conns := make([]rpc.Conn, len(addrs))
 			for i, a := range addrs {
@@ -87,7 +97,9 @@ func main() {
 				}
 				conns[i] = conn
 			}
-			c, err := client.New(client.Config{Conns: conns, ChunkSize: chunk, SizeCacheOps: *sizeCache})
+			c, err := client.New(client.Config{
+				Conns: conns, Dist: dist, ChunkSize: chunk, SizeCacheOps: *sizeCache,
+			})
 			if err != nil {
 				return nil, err
 			}
@@ -99,11 +111,16 @@ func main() {
 	case "mdtest":
 		res, err := workload.RunMDTest(factory, workload.MDTestConfig{
 			Dir: "/gkfs-bench-md", Workers: *workers, FilesPerWorker: *files,
+			BatchSize: *batch,
 		})
 		if err != nil {
 			log.Fatalf("gkfs-bench: %v", err)
 		}
-		fmt.Printf("mdtest: %d workers x %d files (single directory)\n", *workers, *files)
+		proto := "per-op RPCs"
+		if *batch > 1 {
+			proto = fmt.Sprintf("batched RPCs (%d ops/batch)", *batch)
+		}
+		fmt.Printf("mdtest: %d workers x %d files (single directory), %s\n", *workers, *files, proto)
 		fmt.Printf("  create: %10.0f ops/s\n", res.CreatesPerSec)
 		fmt.Printf("  stat:   %10.0f ops/s\n", res.StatsPerSec)
 		fmt.Printf("  remove: %10.0f ops/s\n", res.RemovesPerSec)

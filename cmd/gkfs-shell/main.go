@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"repro/internal/client"
+	"repro/internal/distributor"
 	"repro/internal/meta"
 	"repro/internal/rpc"
 	"repro/internal/transport"
@@ -32,6 +33,7 @@ func main() {
 	chunk := flag.Int64("chunk", meta.DefaultChunkSize, "chunk size in bytes (must match the daemons)")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-RPC timeout")
 	connsN := flag.Int("conns", 1, "striped transport connections per daemon")
+	distName := flag.String("distributor", "simplehash", "placement pattern: simplehash | guided-first-chunk (must match the deployment's other clients)")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
@@ -39,6 +41,10 @@ func main() {
 	}
 
 	addrs := strings.Split(*daemons, ",")
+	dist, err := distributor.New(*distName, len(addrs))
+	if err != nil {
+		fatal("%v", err)
+	}
 	conns := make([]rpc.Conn, len(addrs))
 	for i, a := range addrs {
 		conn, err := transport.DialTCPPool(strings.TrimSpace(a), *timeout, *connsN)
@@ -48,7 +54,7 @@ func main() {
 		defer conn.Close()
 		conns[i] = conn
 	}
-	c, err := client.New(client.Config{Conns: conns, ChunkSize: *chunk})
+	c, err := client.New(client.Config{Conns: conns, Dist: dist, ChunkSize: *chunk})
 	if err != nil {
 		fatal("%v", err)
 	}

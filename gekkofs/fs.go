@@ -64,6 +64,25 @@ func (fs *FS) MkdirAll(path string) error {
 // Stat returns file information for path.
 func (fs *FS) Stat(path string) (FileInfo, error) { return fs.c.Stat(path) }
 
+// CreateMany creates zero-byte regular files at paths through the
+// vectored metadata plane: operations are sharded by owning daemon and
+// travel as one batched RPC per daemon instead of one per file. The
+// result has one error per path, aligned with the input; a nil entry
+// means that file was created. Unlike Create it returns no handles —
+// it is the bulk-ingest primitive for checkpoint-style and mdtest-style
+// workloads that create files first and write (or never write) later.
+func (fs *FS) CreateMany(paths []string) []error { return fs.c.CreateMany(paths) }
+
+// StatMany fetches file information for paths, one batched RPC per
+// daemon. infos[i] is valid exactly when errs[i] is nil.
+func (fs *FS) StatMany(paths []string) ([]FileInfo, []error) { return fs.c.StatMany(paths) }
+
+// RemoveMany unlinks paths, one batched RPC per daemon plus chunk
+// collection only for files that had data. Directories fall back to the
+// one-path protocol (empty check first). One error per path, aligned
+// with the input.
+func (fs *FS) RemoveMany(paths []string) []error { return fs.c.RemoveMany(paths) }
+
 // ReadDir lists a directory. Listings are eventually consistent under
 // concurrent modification (paper §III-A); entries are sorted by name.
 func (fs *FS) ReadDir(path string) ([]DirEntry, error) { return fs.c.ReadDir(path) }

@@ -1,0 +1,109 @@
+package gekkofs_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/gekkofs"
+)
+
+func TestBulkOpsThroughFacade(t *testing.T) {
+	cl, err := gekkofs.New(gekkofs.WithNodes(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	fs, err := cl.Mount()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Mkdir("/bulk"); err != nil {
+		t.Fatal(err)
+	}
+	paths := make([]string, 64)
+	for i := range paths {
+		paths[i] = fmt.Sprintf("/bulk/f.%02d", i)
+	}
+	if err := errors.Join(fs.CreateMany(paths)...); err != nil {
+		t.Fatal(err)
+	}
+	// Bulk-created files are real files: writable, statable, listable.
+	if err := fs.WriteFile(paths[3], []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	infos, errs := fs.StatMany(paths)
+	if err := errors.Join(errs...); err != nil {
+		t.Fatal(err)
+	}
+	if infos[3].Size() != 5 {
+		t.Fatalf("size after write = %d", infos[3].Size())
+	}
+	ents, err := fs.ReadDir("/bulk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != len(paths) {
+		t.Fatalf("listed %d entries, want %d", len(ents), len(paths))
+	}
+	if err := errors.Join(fs.RemoveMany(paths)...); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Stat(paths[3]); !errors.Is(err, gekkofs.ErrNotExist) {
+		t.Fatalf("stat after bulk remove = %v", err)
+	}
+	// The batch counters surfaced through the facade's DaemonStats.
+	var batched uint64
+	for _, st := range cl.DaemonStats() {
+		batched += st.BatchedOps
+	}
+	if batched == 0 {
+		t.Fatal("no batched ops recorded by any daemon")
+	}
+}
+
+// TestReadDirHugeDirectory is the frame-limit regression test: before the
+// paginated ReadDir protocol, a directory whose single-frame listing
+// exceeded the transport's maxFrame failed outright. 100k entries now
+// stream in bounded pages.
+func TestReadDirHugeDirectory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("100k-entry directory scan in -short mode")
+	}
+	cl, err := gekkofs.New(gekkofs.WithNodes(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	fs, err := cl.Mount()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Mkdir("/huge"); err != nil {
+		t.Fatal(err)
+	}
+	const total = 100_000
+	const group = 10_000
+	paths := make([]string, group)
+	for base := 0; base < total; base += group {
+		for i := range paths {
+			paths[i] = fmt.Sprintf("/huge/entry.%06d", base+i)
+		}
+		if err := errors.Join(fs.CreateMany(paths)...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ents, err := fs.ReadDir("/huge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != total {
+		t.Fatalf("listed %d entries, want %d", len(ents), total)
+	}
+	// Sorted, duplicate-free merge across daemons and pages.
+	for i := 1; i < len(ents); i++ {
+		if ents[i-1].Name >= ents[i].Name {
+			t.Fatalf("entries %d/%d out of order: %q >= %q", i-1, i, ents[i-1].Name, ents[i].Name)
+		}
+	}
+}

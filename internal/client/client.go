@@ -67,6 +67,7 @@ type Client struct {
 	dist         distributor.Distributor
 	chunkSize    int64
 	sizeCacheOps int
+	readDirPage  uint32 // entries requested per OpReadDir page
 
 	mu     sync.Mutex
 	files  map[int]*openFile
@@ -122,6 +123,7 @@ func New(cfg Config) (*Client, error) {
 		dist:         cfg.Dist,
 		chunkSize:    cfg.ChunkSize,
 		sizeCacheOps: cfg.SizeCacheOps,
+		readDirPage:  proto.DefaultReadDirPage,
 		files:        make(map[int]*openFile),
 		nextFD:       3,
 	}, nil
@@ -408,10 +410,12 @@ type DirEntry struct {
 	Size int64
 }
 
-// ReadDir lists a directory by gathering per-daemon scans. The listing is
-// eventually consistent: concurrent creates and removes may or may not
-// appear (paper §III-A); entries that do appear are each reported by
-// exactly one daemon, so there are no duplicates.
+// ReadDir lists a directory by gathering per-daemon scans, draining each
+// daemon page by page (continuation token + page limit) so listings of
+// any size stream in bounded frames. The listing is eventually
+// consistent: concurrent creates and removes may or may not appear (paper
+// §III-A); entries that do appear are each reported by exactly one
+// daemon, so there are no duplicates.
 func (c *Client) ReadDir(path string) ([]DirEntry, error) {
 	p, err := meta.Clean(path)
 	if err != nil {
@@ -426,22 +430,10 @@ func (c *Client) ReadDir(path string) ([]DirEntry, error) {
 			return nil, proto.ErrNotDir
 		}
 	}
-	e := rpc.NewEnc(len(p) + 4)
-	e.Str(p)
-	payload := e.Bytes()
-
 	perNode := make([][]DirEntry, len(c.conns))
 	err = c.fanOut(func(node int) error {
-		d, err := c.call(node, proto.OpReadDir, payload, nil, rpc.BulkNone)
+		ents, err := c.readDirNode(node, p)
 		if err != nil {
-			return err
-		}
-		n := d.U32()
-		ents := make([]DirEntry, 0, n)
-		for i := uint32(0); i < n; i++ {
-			ents = append(ents, DirEntry{Name: d.Str(), IsDir: d.U8() == 1, Size: d.I64()})
-		}
-		if err := d.Done(); err != nil {
 			return err
 		}
 		perNode[node] = ents
@@ -458,8 +450,36 @@ func (c *Client) ReadDir(path string) ([]DirEntry, error) {
 	return all, nil
 }
 
-// Remove unlinks a file (one metadata RPC; chunk collection only when the
-// file had data) or removes an empty directory.
+// readDirNode drains one daemon's directory scan page by page.
+func (c *Client) readDirNode(node int, dir string) ([]DirEntry, error) {
+	var ents []DirEntry
+	after := ""
+	for {
+		e := rpc.NewEnc(len(dir) + len(after) + 12)
+		e.Str(dir).Str(after).U32(c.readDirPage)
+		d, err := c.call(node, proto.OpReadDir, e.Bytes(), nil, rpc.BulkNone)
+		if err != nil {
+			return nil, err
+		}
+		n := d.U32()
+		for i := uint32(0); i < n; i++ {
+			ents = append(ents, DirEntry{Name: d.Str(), IsDir: d.U8() == 1, Size: d.I64()})
+		}
+		next := d.Str()
+		if err := d.Done(); err != nil {
+			return nil, err
+		}
+		if next == "" {
+			return ents, nil
+		}
+		after = next
+	}
+}
+
+// Remove unlinks a file or removes an empty directory. A regular file
+// costs one metadata RPC — the daemon refuses directories via the
+// RemoveFileOnly flag, so no leading stat is needed to tell them apart —
+// plus chunk collection only when the file had data.
 func (c *Client) Remove(path string) error {
 	p, err := meta.Clean(path)
 	if err != nil {
@@ -468,11 +488,9 @@ func (c *Client) Remove(path string) error {
 	if p == meta.Root {
 		return proto.ErrInval
 	}
-	md, err := c.statPath(p)
-	if err != nil {
-		return err
-	}
-	if md.IsDir() {
+	_, size, err := c.removeMeta(p, true)
+	if errors.Is(err, proto.ErrIsDir) {
+		// Directory: verify it is empty, then remove without the flag.
 		ents, err := c.ReadDir(p)
 		if err != nil {
 			return err
@@ -480,26 +498,57 @@ func (c *Client) Remove(path string) error {
 		if len(ents) > 0 {
 			return proto.ErrNotEmpty
 		}
-	}
-	e := rpc.NewEnc(len(p) + 4)
-	e.Str(p)
-	d, err := c.call(c.dist.MetaTarget(p), proto.OpRemoveMeta, e.Bytes(), nil, rpc.BulkNone)
-	if err != nil {
-		return err
-	}
-	_ = d.U8() // mode
-	size := d.I64()
-	if err := d.Done(); err != nil {
+		// The record can have been swapped for a file with data between
+		// the listing and this remove; honor the returned size so such a
+		// file's chunks are still collected.
+		_, size, err = c.removeMeta(p, false)
+		if err != nil {
+			return err
+		}
+	} else if err != nil {
 		return err
 	}
 	if size > 0 {
-		// Chunks are spread over all daemons; collect everywhere.
-		return c.fanOut(func(node int) error {
-			_, err := c.call(node, proto.OpRemoveChunks, e.Bytes(), nil, rpc.BulkNone)
-			return err
-		})
+		return c.collectChunks([]string{p})
 	}
 	return nil
+}
+
+// removeMeta issues one OpRemoveMeta, reporting the removed record's mode
+// and size. fileOnly asks the daemon to refuse directories with ErrIsDir.
+func (c *Client) removeMeta(p string, fileOnly bool) (meta.Mode, int64, error) {
+	var flags uint8
+	if fileOnly {
+		flags |= proto.RemoveFileOnly
+	}
+	e := rpc.NewEnc(len(p) + 8)
+	e.Str(p).U8(flags)
+	d, err := c.call(c.dist.MetaTarget(p), proto.OpRemoveMeta, e.Bytes(), nil, rpc.BulkNone)
+	if err != nil {
+		return 0, 0, err
+	}
+	mode := meta.Mode(d.U8())
+	size := d.I64()
+	if err := d.Done(); err != nil {
+		return 0, 0, err
+	}
+	return mode, size, nil
+}
+
+// collectChunks removes the chunk data of paths on every daemon (chunks
+// are spread everywhere): daemons are visited in parallel, the paths on
+// each sequentially. Remove and RemoveMany share it.
+func (c *Client) collectChunks(paths []string) error {
+	return c.fanOut(func(node int) error {
+		for _, p := range paths {
+			e := rpc.NewEnc(len(p) + 4)
+			e.Str(p)
+			if _, err := c.call(node, proto.OpRemoveChunks, e.Bytes(), nil, rpc.BulkNone); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
 }
 
 // Truncate sets a file's size, discarding data beyond it.

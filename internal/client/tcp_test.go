@@ -90,3 +90,67 @@ func TestTCPClusterEndToEnd(t *testing.T) {
 		t.Fatalf("ReadDir over TCP = %v, %v", ents, err)
 	}
 }
+
+// TestTCPVectoredMetadata runs the batch plane and the paged ReadDir over
+// real sockets: the batched RPCs, per-op errno stitching, and multi-page
+// directory drains must survive the framed wire, not just the in-process
+// shortcut.
+func TestTCPVectoredMetadata(t *testing.T) {
+	const nodes = 2
+	conns := make([]rpc.Conn, nodes)
+	for i := 0; i < nodes; i++ {
+		d, err := daemon.New(daemon.Config{ID: i, FS: vfs.NewMem(), ChunkSize: 1024})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { d.Close() })
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { l.Close() })
+		go transport.ServeTCP(l, d.Server())
+		conn, err := transport.DialTCP(l.Addr().String(), 10*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { conn.Close() })
+		conns[i] = conn
+	}
+	c, err := New(Config{Conns: conns, ChunkSize: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.EnsureRoot(); err != nil {
+		t.Fatal(err)
+	}
+	c.readDirPage = 5 // force several pages per daemon
+
+	paths := make([]string, 37)
+	for i := range paths {
+		paths[i] = "/w" + string(rune('a'+i%26)) + string(rune('0'+i/26))
+	}
+	for i, err := range c.CreateMany(paths) {
+		if err != nil {
+			t.Fatalf("create %s over TCP: %v", paths[i], err)
+		}
+	}
+	// Duplicate batch: every op answers ErrExist individually.
+	for i, err := range c.CreateMany(paths) {
+		if err == nil {
+			t.Fatalf("duplicate create %s succeeded", paths[i])
+		}
+	}
+	ents, err := c.ReadDir("/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != len(paths) {
+		t.Fatalf("paged TCP ReadDir = %d entries, want %d", len(ents), len(paths))
+	}
+	for i, err := range c.RemoveMany(paths) {
+		if err != nil {
+			t.Fatalf("remove %s over TCP: %v", paths[i], err)
+		}
+	}
+}

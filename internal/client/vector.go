@@ -1,0 +1,198 @@
+package client
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/meta"
+	"repro/internal/proto"
+	"repro/internal/rpc"
+)
+
+// The vectored metadata plane (client side). CreateMany, StatMany and
+// RemoveMany shard their operation vectors by metadata owner, issue one
+// OpBatchMeta RPC per involved daemon in parallel over the pooled
+// connections, and stitch the per-op outcomes back into caller order —
+// the batching that turns mdtest-style namespace storms from one RPC per
+// op into one RPC per daemon per page (paper §IV's metadata experiments).
+
+// batchMeta runs an operation vector through the batch plane. Paths in
+// ops must already be canonical. results[i] is op i's outcome; errs[i]
+// carries a transport or RPC failure of the shard op i traveled in (the
+// whole shard fails together, but other shards are unaffected).
+func (c *Client) batchMeta(ops []proto.MetaOp) ([]proto.MetaResult, []error) {
+	results := make([]proto.MetaResult, len(ops))
+	errs := make([]error, len(ops))
+	shards := make(map[int][]int, len(c.conns)) // node → indices into ops
+	for i := range ops {
+		node := c.dist.MetaTarget(ops[i].Path)
+		shards[node] = append(shards[node], i)
+	}
+	var wg sync.WaitGroup
+	for node, idx := range shards {
+		wg.Add(1)
+		go func(node int, idx []int) {
+			defer wg.Done()
+			// Oversized shards split into multiple RPCs, bounding how
+			// long a daemon holds its KV locks for one batch.
+			for len(idx) > 0 {
+				n := min(len(idx), proto.MaxBatchOps)
+				c.batchMetaCall(node, idx[:n], ops, results, errs)
+				idx = idx[n:]
+			}
+		}(node, idx)
+	}
+	wg.Wait()
+	return results, errs
+}
+
+// batchMetaCall issues one OpBatchMeta carrying ops[idx...] and scatters
+// the reply back through idx. The shard is encoded and decoded in place
+// — no gathered copy of the sub-ops.
+func (c *Client) batchMetaCall(node int, idx []int, ops []proto.MetaOp, results []proto.MetaResult, errs []error) {
+	wire := 8
+	for _, i := range idx {
+		wire += len(ops[i].Path) + 24
+	}
+	fail := func(err error) {
+		for _, i := range idx {
+			errs[i] = err
+		}
+	}
+	e := rpc.NewEnc(wire)
+	e.U32(uint32(len(idx)))
+	for _, i := range idx {
+		proto.EncodeMetaOp(e, &ops[i])
+	}
+	d, err := c.call(node, proto.OpBatchMeta, e.Bytes(), nil, rpc.BulkNone)
+	if err != nil {
+		fail(err)
+		return
+	}
+	if n := d.U32(); int(n) != len(idx) {
+		fail(rpc.ErrMalformed)
+		return
+	}
+	for _, i := range idx {
+		results[i] = proto.DecodeMetaResult(d, ops[i].Kind)
+	}
+	if err := d.Done(); err != nil {
+		fail(err)
+	}
+}
+
+// CreateMany creates zero-byte regular files at paths — the mdtest create
+// phase as one RPC per daemon instead of one per file. The returned slice
+// has one error per path, aligned with the input; a path that already
+// exists reports ErrExist without disturbing its batchmates.
+func (c *Client) CreateMany(paths []string) []error {
+	errs := make([]error, len(paths))
+	ops := make([]proto.MetaOp, 0, len(paths))
+	opIdx := make([]int, 0, len(paths)) // ops index → paths index
+	now := time.Now().UnixNano()
+	for i, path := range paths {
+		p, err := meta.Clean(path)
+		if err != nil {
+			errs[i] = err
+			continue
+		}
+		ops = append(ops, proto.MetaOp{Kind: proto.MetaOpCreate, Path: p, Mode: meta.ModeRegular, TimeNS: now})
+		opIdx = append(opIdx, i)
+	}
+	results, rerrs := c.batchMeta(ops)
+	for j := range results {
+		if rerrs[j] != nil {
+			errs[opIdx[j]] = rerrs[j]
+			continue
+		}
+		errs[opIdx[j]] = results[j].Errno.Err()
+	}
+	return errs
+}
+
+// StatMany fetches file information for paths, one batch RPC per daemon.
+// infos[i] is valid exactly when errs[i] is nil.
+func (c *Client) StatMany(paths []string) ([]FileInfo, []error) {
+	infos := make([]FileInfo, len(paths))
+	errs := make([]error, len(paths))
+	ops := make([]proto.MetaOp, 0, len(paths))
+	opIdx := make([]int, 0, len(paths))
+	for i, path := range paths {
+		p, err := meta.Clean(path)
+		if err != nil {
+			errs[i] = err
+			continue
+		}
+		ops = append(ops, proto.MetaOp{Kind: proto.MetaOpStat, Path: p})
+		opIdx = append(opIdx, i)
+	}
+	results, rerrs := c.batchMeta(ops)
+	for j := range results {
+		i := opIdx[j]
+		if rerrs[j] != nil {
+			errs[i] = rerrs[j]
+			continue
+		}
+		if err := results[j].Errno.Err(); err != nil {
+			errs[i] = err
+			continue
+		}
+		md, err := meta.DecodeMetadata(results[j].Blob)
+		if err != nil {
+			errs[i] = err
+			continue
+		}
+		infos[i] = infoFromMeta(ops[j].Path, md)
+	}
+	return infos, errs
+}
+
+// RemoveMany unlinks paths, one batch RPC per daemon plus chunk
+// collection only for the files that had data. Directories take the
+// one-path protocol (empty check, then remove) — the daemon's ErrIsDir
+// answer routes them there without a leading stat.
+func (c *Client) RemoveMany(paths []string) []error {
+	errs := make([]error, len(paths))
+	ops := make([]proto.MetaOp, 0, len(paths))
+	opIdx := make([]int, 0, len(paths))
+	for i, path := range paths {
+		p, err := meta.Clean(path)
+		if err != nil {
+			errs[i] = err
+			continue
+		}
+		if p == meta.Root {
+			errs[i] = proto.ErrInval
+			continue
+		}
+		ops = append(ops, proto.MetaOp{Kind: proto.MetaOpRemove, Path: p, FileOnly: true})
+		opIdx = append(opIdx, i)
+	}
+	results, rerrs := c.batchMeta(ops)
+	var chunky []string // removed files with data, needing chunk collection
+	var chunkyIdx []int
+	for j := range results {
+		i := opIdx[j]
+		switch {
+		case rerrs[j] != nil:
+			errs[i] = rerrs[j]
+		case results[j].Errno == proto.ErrnoIsDir:
+			errs[i] = c.Remove(ops[j].Path)
+		case results[j].Errno != proto.OK:
+			errs[i] = results[j].Errno.Err()
+		case results[j].Size > 0:
+			chunky = append(chunky, ops[j].Path)
+			chunkyIdx = append(chunkyIdx, i)
+		}
+	}
+	if len(chunky) > 0 {
+		if err := c.collectChunks(chunky); err != nil {
+			for _, i := range chunkyIdx {
+				if errs[i] == nil {
+					errs[i] = err
+				}
+			}
+		}
+	}
+	return errs
+}

@@ -166,14 +166,11 @@ func (c *Cluster) ChunkSize() int64 {
 }
 
 func (c *Cluster) dist() (distributor.Distributor, error) {
-	switch c.cfg.Distributor {
-	case "", "simplehash":
-		return distributor.NewSimpleHash(c.cfg.Nodes), nil
-	case "guided-first-chunk":
-		return distributor.NewGuidedFirstChunk(c.cfg.Nodes), nil
-	default:
-		return nil, fmt.Errorf("core: unknown distributor %q", c.cfg.Distributor)
+	d, err := distributor.New(c.cfg.Distributor, c.cfg.Nodes)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
 	}
+	return d, nil
 }
 
 func (c *Cluster) newClient() (*client.Client, error) {

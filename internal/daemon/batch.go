@@ -1,0 +1,175 @@
+package daemon
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/kvstore"
+	"repro/internal/meta"
+	"repro/internal/proto"
+	"repro/internal/rpc"
+)
+
+// The vectored metadata plane. One OpBatchMeta RPC carries many
+// create/stat/remove/update-size sub-operations; the mutating ones commit
+// through a single kvstore.Batch — one WAL append for the whole vector
+// instead of one per op — while per-op outcomes travel back as an errno
+// vector, so one failed sub-op never poisons its batchmates.
+
+// batchRec is the within-batch view of one path: the record as the batch
+// will leave it once applied. It overlays the store so later sub-ops of
+// the same batch observe earlier ones (a create after a remove of the
+// same path must succeed).
+type batchRec struct {
+	exists bool
+	md     meta.Metadata
+}
+
+func (d *Daemon) handleBatchMeta(req []byte, _ rpc.Bulk) ([]byte, error) {
+	dec := rpc.NewDec(req)
+	ops := proto.DecodeMetaOps(dec)
+	if err := dec.Done(); err != nil {
+		return nil, err
+	}
+	results := make([]proto.MetaResult, len(ops))
+
+	// Keys of mutating sub-ops; their stripe locks are held across the
+	// whole read-validate-apply sequence so the batch is atomic with
+	// respect to the single-op handlers (PutIfAbsent, Update). The byte
+	// conversions are kept (keyOf) and handed to the batch via the owned
+	// variants — one key buffer per op, no re-copies.
+	keys := make([][]byte, 0, len(ops))
+	keyOf := make([][]byte, len(ops))
+	for i := range ops {
+		if ops[i].Kind != proto.MetaOpStat {
+			k := []byte(ops[i].Path)
+			keyOf[i] = k
+			keys = append(keys, k)
+		}
+	}
+
+	batch := &kvstore.Batch{}
+	overlay := make(map[string]batchRec)
+	// load returns the record as the batch will leave it: pending batch
+	// state first, then the store.
+	load := func(path string) (batchRec, error) {
+		if rec, ok := overlay[path]; ok {
+			return rec, nil
+		}
+		v, err := d.db.Get([]byte(path))
+		if errors.Is(err, kvstore.ErrNotFound) {
+			return batchRec{}, nil
+		}
+		if err != nil {
+			return batchRec{}, err
+		}
+		md, err := meta.DecodeMetadata(v)
+		if err != nil {
+			return batchRec{}, fmt.Errorf("corrupt record at %s: %w", path, err)
+		}
+		return batchRec{exists: true, md: md}, nil
+	}
+
+	err := d.db.WithKeyLocks(keys, func() error {
+		for i := range ops {
+			op := &ops[i]
+			if op.Kind == proto.MetaOpStat {
+				// Stats bypass the decode+re-encode of load: outside the
+				// overlay, the stored record is the reply blob as-is.
+				d.statOps.Add(1)
+				if rec, ok := overlay[op.Path]; ok {
+					if !rec.exists {
+						results[i].Errno = proto.ErrnoNotExist
+					} else {
+						results[i].Blob = rec.md.Encode()
+					}
+					continue
+				}
+				v, err := d.db.Get([]byte(op.Path))
+				if errors.Is(err, kvstore.ErrNotFound) {
+					results[i].Errno = proto.ErrnoNotExist
+					continue
+				}
+				if err != nil {
+					return err
+				}
+				results[i].Blob = v
+				continue
+			}
+			rec, err := load(op.Path)
+			if err != nil {
+				return err
+			}
+			switch op.Kind {
+			case proto.MetaOpCreate:
+				d.creates.Add(1)
+				if rec.exists {
+					results[i].Errno = proto.ErrnoExist
+					continue
+				}
+				md := meta.Metadata{Mode: op.Mode, CTimeNS: op.TimeNS, MTimeNS: op.TimeNS}
+				batch.PutOwned(keyOf[i], md.Encode())
+				overlay[op.Path] = batchRec{exists: true, md: md}
+			case proto.MetaOpRemove:
+				d.removes.Add(1)
+				if !rec.exists {
+					results[i].Errno = proto.ErrnoNotExist
+					continue
+				}
+				if op.FileOnly && rec.md.IsDir() {
+					results[i].Errno = proto.ErrnoIsDir
+					continue
+				}
+				batch.DeleteOwned(keyOf[i])
+				overlay[op.Path] = batchRec{}
+				results[i].Mode = rec.md.Mode
+				results[i].Size = rec.md.Size
+			case proto.MetaOpUpdateSize:
+				d.sizeUpdates.Add(1)
+				if rec.exists && rec.md.IsDir() {
+					results[i].Errno = proto.ErrnoIsDir
+					continue
+				}
+				if op.Truncate {
+					if !rec.exists {
+						results[i].Errno = proto.ErrnoNotExist
+						continue
+					}
+					md := rec.md
+					md.Size = op.Size
+					md.MTimeNS = op.TimeNS
+					batch.PutOwned(keyOf[i], md.Encode())
+					overlay[op.Path] = batchRec{exists: true, md: md}
+				} else {
+					// The grow stays a merge operand even inside a batch,
+					// keeping the max-size resolution semantics shared
+					// with the single-op path.
+					operand := rpc.NewEnc(16)
+					operand.I64(op.Size).I64(op.TimeNS)
+					batch.MergeOwned(keyOf[i], operand.Bytes())
+					md := rec.md
+					if !rec.exists {
+						md = meta.Metadata{Mode: meta.ModeRegular}
+					}
+					if op.Size > md.Size {
+						md.Size = op.Size
+					}
+					if op.TimeNS > md.MTimeNS {
+						md.MTimeNS = op.TimeNS
+					}
+					overlay[op.Path] = batchRec{exists: true, md: md}
+				}
+			}
+		}
+		return d.db.Apply(batch)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("batch meta: %w", err)
+	}
+	d.batchRPCs.Add(1)
+	d.batchedOps.Add(uint64(len(ops)))
+
+	e := okResp(4 + 4*len(results))
+	proto.EncodeMetaResults(e, ops, results)
+	return e.Bytes(), nil
+}

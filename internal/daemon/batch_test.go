@@ -1,0 +1,294 @@
+package daemon
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/meta"
+	"repro/internal/proto"
+	"repro/internal/rpc"
+)
+
+func callBatch(t *testing.T, d *Daemon, ops []proto.MetaOp) []proto.MetaResult {
+	t.Helper()
+	e := rpc.NewEnc(64)
+	proto.EncodeMetaOps(e, ops)
+	dec, err := call(t, d, proto.OpBatchMeta, e.Bytes(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := proto.DecodeMetaResults(dec, ops)
+	if err := dec.Done(); err != nil {
+		t.Fatal(err)
+	}
+	return results
+}
+
+func TestBatchMetaMixedLifecycle(t *testing.T) {
+	d := newTestDaemon(t)
+	// One batch: create two files and a dir, grow one file, stat it.
+	results := callBatch(t, d, []proto.MetaOp{
+		{Kind: proto.MetaOpCreate, Path: "/f1", Mode: meta.ModeRegular, TimeNS: 10},
+		{Kind: proto.MetaOpCreate, Path: "/f2", Mode: meta.ModeRegular, TimeNS: 11},
+		{Kind: proto.MetaOpCreate, Path: "/d", Mode: meta.ModeDir, TimeNS: 12},
+		{Kind: proto.MetaOpUpdateSize, Path: "/f1", Size: 999, TimeNS: 13},
+		{Kind: proto.MetaOpStat, Path: "/f1"},
+	})
+	for i, r := range results {
+		if r.Errno != proto.OK {
+			t.Fatalf("op %d errno = %d", i, r.Errno)
+		}
+	}
+	// The in-batch stat observed the in-batch grow.
+	md, err := meta.DecodeMetadata(results[4].Blob)
+	if err != nil || md.Size != 999 {
+		t.Fatalf("in-batch stat = %+v, %v", md, err)
+	}
+	// The batch actually applied to the store.
+	dec, err := call(t, d, proto.OpStat, encPath("/f1"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	md, _ = meta.DecodeMetadata(dec.Blob())
+	if md.Size != 999 {
+		t.Fatalf("post-batch size = %d", md.Size)
+	}
+
+	// Second batch: per-op errnos for the failures, the successes land.
+	results = callBatch(t, d, []proto.MetaOp{
+		{Kind: proto.MetaOpCreate, Path: "/f1", Mode: meta.ModeRegular}, // exists
+		{Kind: proto.MetaOpRemove, Path: "/missing", FileOnly: true},    // not exist
+		{Kind: proto.MetaOpRemove, Path: "/d", FileOnly: true},          // dir, refused
+		{Kind: proto.MetaOpUpdateSize, Path: "/d", Size: 5},             // dir, refused
+		{Kind: proto.MetaOpRemove, Path: "/f2", FileOnly: true},         // ok
+	})
+	want := []proto.Errno{proto.ErrnoExist, proto.ErrnoNotExist, proto.ErrnoIsDir, proto.ErrnoIsDir, proto.OK}
+	for i, r := range results {
+		if r.Errno != want[i] {
+			t.Fatalf("op %d errno = %d, want %d", i, r.Errno, want[i])
+		}
+	}
+	if results[4].Mode != meta.ModeRegular || results[4].Size != 0 {
+		t.Fatalf("remove result = %+v", results[4])
+	}
+	if _, err := call(t, d, proto.OpStat, encPath("/f2"), nil); !errors.Is(err, proto.ErrNotExist) {
+		t.Fatalf("/f2 after batch remove = %v", err)
+	}
+	// The directory refused by FileOnly remains.
+	if _, err := call(t, d, proto.OpStat, encPath("/d"), nil); err != nil {
+		t.Fatalf("/d after refused remove = %v", err)
+	}
+}
+
+func TestBatchMetaWithinBatchVisibility(t *testing.T) {
+	d := newTestDaemon(t)
+	// remove → create → stat of the same path inside one batch: each op
+	// sees the batch's pending state, not just the store.
+	if _, err := call(t, d, proto.OpCreate, encCreate("/x", meta.ModeRegular), nil); err != nil {
+		t.Fatal(err)
+	}
+	results := callBatch(t, d, []proto.MetaOp{
+		{Kind: proto.MetaOpRemove, Path: "/x", FileOnly: true},
+		{Kind: proto.MetaOpCreate, Path: "/x", Mode: meta.ModeRegular, TimeNS: 77},
+		{Kind: proto.MetaOpStat, Path: "/x"},
+		{Kind: proto.MetaOpCreate, Path: "/x", Mode: meta.ModeRegular}, // duplicate within batch
+	})
+	want := []proto.Errno{proto.OK, proto.OK, proto.OK, proto.ErrnoExist}
+	for i, r := range results {
+		if r.Errno != want[i] {
+			t.Fatalf("op %d errno = %d, want %d", i, r.Errno, want[i])
+		}
+	}
+	md, err := meta.DecodeMetadata(results[2].Blob)
+	if err != nil || md.CTimeNS != 77 {
+		t.Fatalf("recreated record = %+v, %v", md, err)
+	}
+}
+
+func TestBatchMetaTruncateInBatch(t *testing.T) {
+	d := newTestDaemon(t)
+	results := callBatch(t, d, []proto.MetaOp{
+		{Kind: proto.MetaOpCreate, Path: "/t", Mode: meta.ModeRegular},
+		{Kind: proto.MetaOpUpdateSize, Path: "/t", Size: 100, TimeNS: 1},
+		{Kind: proto.MetaOpUpdateSize, Path: "/t", Size: 10, Truncate: true, TimeNS: 2},
+		{Kind: proto.MetaOpStat, Path: "/t"},
+		{Kind: proto.MetaOpUpdateSize, Path: "/gone", Size: 10, Truncate: true},
+	})
+	want := []proto.Errno{proto.OK, proto.OK, proto.OK, proto.OK, proto.ErrnoNotExist}
+	for i, r := range results {
+		if r.Errno != want[i] {
+			t.Fatalf("op %d errno = %d, want %d", i, r.Errno, want[i])
+		}
+	}
+	md, _ := meta.DecodeMetadata(results[3].Blob)
+	if md.Size != 10 {
+		t.Fatalf("size after in-batch truncate = %d", md.Size)
+	}
+	// The truncate's Put must supersede the earlier merge operand once
+	// resolved from the store too.
+	dec, err := call(t, d, proto.OpStat, encPath("/t"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	md, _ = meta.DecodeMetadata(dec.Blob())
+	if md.Size != 10 {
+		t.Fatalf("store size after batch = %d", md.Size)
+	}
+}
+
+func TestBatchMetaCounters(t *testing.T) {
+	d := newTestDaemon(t)
+	callBatch(t, d, []proto.MetaOp{
+		{Kind: proto.MetaOpCreate, Path: "/a", Mode: meta.ModeRegular},
+		{Kind: proto.MetaOpCreate, Path: "/b", Mode: meta.ModeRegular},
+		{Kind: proto.MetaOpStat, Path: "/a"},
+		{Kind: proto.MetaOpRemove, Path: "/b", FileOnly: true},
+	})
+	st := d.Stats()
+	if st.BatchRPCs != 1 || st.BatchedOps != 4 {
+		t.Fatalf("batch counters = %d RPCs / %d ops", st.BatchRPCs, st.BatchedOps)
+	}
+	if st.Creates != 2 || st.StatOps != 1 || st.Removes != 1 {
+		t.Fatalf("per-op counters = %+v", st)
+	}
+}
+
+func TestBatchMetaHostileFrames(t *testing.T) {
+	d := newTestDaemon(t)
+	// Claimed op count far beyond the payload: must error, not allocate.
+	e := rpc.NewEnc(8)
+	e.U32(1 << 30)
+	if _, err := d.Server().Dispatch(proto.OpBatchMeta, e.Bytes(), nil); err == nil {
+		t.Fatal("absurd batch count accepted")
+	}
+	// Truncated mid-op.
+	e = rpc.NewEnc(32)
+	proto.EncodeMetaOps(e, []proto.MetaOp{{Kind: proto.MetaOpCreate, Path: "/x", Mode: meta.ModeRegular}})
+	full := e.Bytes()
+	if _, err := d.Server().Dispatch(proto.OpBatchMeta, full[:len(full)-3], nil); err == nil {
+		t.Fatal("truncated batch accepted")
+	}
+	// Unknown sub-op kind.
+	e = rpc.NewEnc(16)
+	e.U32(1).U8(99)
+	e.Str("/x")
+	if _, err := d.Server().Dispatch(proto.OpBatchMeta, e.Bytes(), nil); err == nil {
+		t.Fatal("unknown sub-op kind accepted")
+	}
+	// The daemon still serves valid traffic afterwards.
+	if _, err := call(t, d, proto.OpPing, nil, nil); err != nil {
+		t.Fatalf("daemon wedged after hostile batch: %v", err)
+	}
+}
+
+func TestUpdateSizeGrowRejectsDir(t *testing.T) {
+	d := newTestDaemon(t)
+	if _, err := call(t, d, proto.OpCreate, encCreate("/dir", meta.ModeDir), nil); err != nil {
+		t.Fatal(err)
+	}
+	e := rpc.NewEnc(32)
+	e.Str("/dir").I64(100).U8(0).I64(1)
+	if _, err := call(t, d, proto.OpUpdateSize, e.Bytes(), nil); !errors.Is(err, proto.ErrIsDir) {
+		t.Fatalf("grow on dir = %v", err)
+	}
+	// The record is untouched.
+	dec, err := call(t, d, proto.OpStat, encPath("/dir"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	md, _ := meta.DecodeMetadata(dec.Blob())
+	if !md.IsDir() || md.Size != 0 {
+		t.Fatalf("dir record after refused grow = %+v", md)
+	}
+}
+
+func TestTruncateChunksRejectsDir(t *testing.T) {
+	d := newTestDaemon(t)
+	if _, err := call(t, d, proto.OpCreate, encCreate("/dir", meta.ModeDir), nil); err != nil {
+		t.Fatal(err)
+	}
+	e := rpc.NewEnc(32)
+	e.Str("/dir").I64(0)
+	if _, err := call(t, d, proto.OpTruncateChunks, e.Bytes(), nil); !errors.Is(err, proto.ErrIsDir) {
+		t.Fatalf("truncate-chunks on dir = %v", err)
+	}
+	// Paths without a record here (a file whose metadata lives on another
+	// daemon) still truncate fine.
+	e = rpc.NewEnc(32)
+	e.Str("/remote-file").I64(0)
+	if _, err := call(t, d, proto.OpTruncateChunks, e.Bytes(), nil); err != nil {
+		t.Fatalf("truncate-chunks without record = %v", err)
+	}
+}
+
+func TestRemoveMetaFileOnlyFlag(t *testing.T) {
+	d := newTestDaemon(t)
+	if _, err := call(t, d, proto.OpCreate, encCreate("/dir", meta.ModeDir), nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := call(t, d, proto.OpRemoveMeta, encRemove("/dir", proto.RemoveFileOnly), nil); !errors.Is(err, proto.ErrIsDir) {
+		t.Fatalf("file-only remove of dir = %v", err)
+	}
+	// Without the flag the directory goes.
+	if _, err := call(t, d, proto.OpRemoveMeta, encRemove("/dir", 0), nil); err != nil {
+		t.Fatalf("unflagged remove of dir = %v", err)
+	}
+}
+
+func TestReadDirPagination(t *testing.T) {
+	d := newTestDaemon(t)
+	const n = 25
+	for i := 0; i < n; i++ {
+		p := fmt.Sprintf("/dir/f%03d", i)
+		if _, err := call(t, d, proto.OpCreate, encCreate(p, meta.ModeRegular), nil); err != nil {
+			t.Fatal(err)
+		}
+		// Deeper descendants interleave with the children in key order
+		// and must not disturb page boundaries or tokens.
+		p = fmt.Sprintf("/dir/f%03d/deep", i)
+		if _, err := call(t, d, proto.OpCreate, encCreate(p, meta.ModeRegular), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []string
+	after := ""
+	pages := 0
+	for {
+		dec, err := call(t, d, proto.OpReadDir, encReadDir("/dir", after, 7), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cnt := dec.U32()
+		if cnt > 7 {
+			t.Fatalf("page of %d entries exceeds limit 7", cnt)
+		}
+		for i := uint32(0); i < cnt; i++ {
+			got = append(got, dec.Str())
+			dec.U8()
+			dec.I64()
+		}
+		next := dec.Str()
+		if err := dec.Done(); err != nil {
+			t.Fatal(err)
+		}
+		pages++
+		if next == "" {
+			break
+		}
+		after = next
+	}
+	if pages < 4 {
+		t.Fatalf("scan of %d entries with limit 7 took %d pages", n, pages)
+	}
+	if len(got) != n {
+		t.Fatalf("paged scan returned %d entries, want %d", len(got), n)
+	}
+	seen := make(map[string]bool, len(got))
+	for _, name := range got {
+		if seen[name] {
+			t.Fatalf("duplicate entry %q across pages", name)
+		}
+		seen[name] = true
+	}
+}

@@ -47,8 +47,13 @@ type Stats struct {
 	// moved payloads.
 	WriteOps, ReadOps     uint64
 	WriteBytes, ReadBytes uint64
-	// ReadDirs counts directory scans.
+	// ReadDirs counts directory scan pages served.
 	ReadDirs uint64
+	// BatchRPCs counts OpBatchMeta calls; BatchedOps the sub-operations
+	// they carried. BatchedOps/BatchRPCs is the achieved batching factor —
+	// the number of metadata ops amortized over one RPC and one WAL
+	// append.
+	BatchRPCs, BatchedOps uint64
 }
 
 // Daemon is one GekkoFS server.
@@ -63,6 +68,7 @@ type Daemon struct {
 	writeOps, readOps         atomic.Uint64
 	writeBytes, readBytes     atomic.Uint64
 	readDirs                  atomic.Uint64
+	batchRPCs, batchedOps     atomic.Uint64
 
 	startup time.Duration
 }
@@ -134,6 +140,8 @@ func (d *Daemon) Stats() Stats {
 		WriteBytes:  d.writeBytes.Load(),
 		ReadBytes:   d.readBytes.Load(),
 		ReadDirs:    d.readDirs.Load(),
+		BatchRPCs:   d.batchRPCs.Load(),
+		BatchedOps:  d.batchedOps.Load(),
 	}
 }
 
@@ -157,6 +165,13 @@ func sizeMerger(_ []byte, existing []byte, operands [][]byte) []byte {
 		}
 	} else {
 		md = meta.Metadata{Mode: meta.ModeRegular}
+	}
+	if md.IsDir() {
+		// Directories have no size to grow. The handlers refuse size
+		// updates on directory records up front, but that check is
+		// unlocked — an operand racing a mkdir can still land here, and
+		// must not mutate the directory.
+		return append([]byte(nil), existing...)
 	}
 	for _, op := range operands {
 		d := rpc.NewDec(op)

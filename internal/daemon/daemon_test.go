@@ -52,6 +52,18 @@ func encCreate(path string, mode meta.Mode) []byte {
 	return e.Bytes()
 }
 
+func encRemove(path string, flags uint8) []byte {
+	e := rpc.NewEnc(len(path) + 8)
+	e.Str(path).U8(flags)
+	return e.Bytes()
+}
+
+func encReadDir(dir, after string, limit uint32) []byte {
+	e := rpc.NewEnc(len(dir) + len(after) + 12)
+	e.Str(dir).Str(after).U32(limit)
+	return e.Bytes()
+}
+
 func TestPingReturnsID(t *testing.T) {
 	d := newTestDaemon(t)
 	dec, err := call(t, d, proto.OpPing, nil, nil)
@@ -80,7 +92,7 @@ func TestCreateStatRemoveLifecycle(t *testing.T) {
 	if err != nil || md.IsDir() || md.Size != 0 {
 		t.Fatalf("stat = %+v, %v", md, err)
 	}
-	dec, err = call(t, d, proto.OpRemoveMeta, encPath("/f"), nil)
+	dec, err = call(t, d, proto.OpRemoveMeta, encRemove("/f", 0), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +105,7 @@ func TestCreateStatRemoveLifecycle(t *testing.T) {
 	if _, err := call(t, d, proto.OpStat, encPath("/f"), nil); !errors.Is(err, proto.ErrNotExist) {
 		t.Fatalf("stat after remove = %v", err)
 	}
-	if _, err := call(t, d, proto.OpRemoveMeta, encPath("/f"), nil); !errors.Is(err, proto.ErrNotExist) {
+	if _, err := call(t, d, proto.OpRemoveMeta, encRemove("/f", 0), nil); !errors.Is(err, proto.ErrNotExist) {
 		t.Fatalf("double remove = %v", err)
 	}
 }
@@ -208,7 +220,7 @@ func TestReadDirScopedToChildren(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	dec, err := call(t, d, proto.OpReadDir, encPath("/a"), nil)
+	dec, err := call(t, d, proto.OpReadDir, encReadDir("/a", "", 0), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -219,6 +231,12 @@ func TestReadDirScopedToChildren(t *testing.T) {
 		dec.U8()
 		dec.I64()
 		names[name] = true
+	}
+	if next := dec.Str(); next != "" {
+		t.Fatalf("unexpected continuation token %q", next)
+	}
+	if err := dec.Done(); err != nil {
+		t.Fatal(err)
 	}
 	if len(names) != 2 || !names["x"] || !names["y"] {
 		t.Fatalf("children of /a = %v", names)

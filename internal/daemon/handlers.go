@@ -40,6 +40,7 @@ func (d *Daemon) register() {
 	d.srv.Register(proto.OpTruncateChunks, d.handleTruncateChunks)
 	d.srv.Register(proto.OpReadDir, d.handleReadDir)
 	d.srv.Register(proto.OpStats, d.handleStats)
+	d.srv.Register(proto.OpBatchMeta, d.handleBatchMeta)
 }
 
 func (d *Daemon) handlePing([]byte, rpc.Bulk) ([]byte, error) {
@@ -92,29 +93,38 @@ func (d *Daemon) handleStat(req []byte, _ rpc.Bulk) ([]byte, error) {
 
 // handleRemoveMeta deletes the record and reports the mode and size it
 // had, so the client can decide whether chunk collection RPCs are needed
-// (zero-size files need none — the common mdtest case).
+// (zero-size files need none — the common mdtest case). With
+// proto.RemoveFileOnly set, directories are refused with ErrnoIsDir
+// instead of deleted, which lets the client unlink a regular file in one
+// RPC without a leading stat.
 func (d *Daemon) handleRemoveMeta(req []byte, _ rpc.Bulk) ([]byte, error) {
 	dec := rpc.NewDec(req)
 	path := dec.Str()
+	flags := dec.U8()
 	if err := dec.Done(); err != nil {
 		return nil, err
 	}
 	d.removes.Add(1)
 	var removed meta.Metadata
-	found := false
+	var errno proto.Errno
 	err := d.db.Update([]byte(path), func(cur []byte, ok bool) ([]byte, bool, error) {
 		if !ok {
+			errno = proto.ErrnoNotExist
 			return nil, false, kvstore.ErrNotFound
 		}
 		m, err := meta.DecodeMetadata(cur)
 		if err != nil {
 			return nil, false, err
 		}
-		removed, found = m, true
+		if flags&proto.RemoveFileOnly != 0 && m.IsDir() {
+			errno = proto.ErrnoIsDir
+			return nil, false, proto.ErrIsDir
+		}
+		removed = m
 		return nil, true, nil // delete
 	})
-	if errors.Is(err, kvstore.ErrNotFound) || !found {
-		return errResp(proto.ErrnoNotExist), nil
+	if errno != proto.OK {
+		return errResp(errno), nil
 	}
 	if err != nil {
 		return nil, fmt.Errorf("remove %s: %w", path, err)
@@ -137,6 +147,15 @@ func (d *Daemon) handleUpdateSize(req []byte, _ rpc.Bulk) ([]byte, error) {
 	}
 	d.sizeUpdates.Add(1)
 	if !truncate {
+		// A size grow against a directory record is refused rather than
+		// silently folded in. The check is an unlocked read — a racing
+		// mkdir could still slip a dir in before the merge lands — so
+		// sizeMerger independently refuses to grow directory records.
+		if cur, err := d.db.Get([]byte(path)); err == nil {
+			if m, merr := meta.DecodeMetadata(cur); merr == nil && m.IsDir() {
+				return errResp(proto.ErrnoIsDir), nil
+			}
+		}
 		op := rpc.NewEnc(16)
 		op.I64(size).I64(mtime)
 		if err := d.db.Merge([]byte(path), op.Bytes()); err != nil {
@@ -341,27 +360,54 @@ func (d *Daemon) handleTruncateChunks(req []byte, _ rpc.Bulk) ([]byte, error) {
 	if newSize < 0 {
 		return errResp(proto.ErrnoInval), nil
 	}
+	// Directories carry no chunks; truncating one is a caller error. The
+	// record lives only on the path's metadata owner, so the check bites
+	// there and is a no-op on the other daemons of the fan-out.
+	if cur, err := d.db.Get([]byte(path)); err == nil {
+		if m, merr := meta.DecodeMetadata(cur); merr == nil && m.IsDir() {
+			return errResp(proto.ErrnoIsDir), nil
+		}
+	}
 	if err := d.chunks.TruncateChunks(path, d.cfg.ChunkSize, newSize); err != nil {
 		return nil, err
 	}
 	return okResp(0).Bytes(), nil
 }
 
-// handleReadDir scans this daemon's KV store for direct children of dir.
-// The scan runs against a point-in-time iterator locally, but the client
-// merges scans from all daemons without any cross-daemon lock — the
+// handleReadDir scans this daemon's KV store for direct children of dir,
+// returning one page per call: at most `limit` entries after the
+// continuation token, plus the token for the next page (empty when the
+// scan is exhausted). Paging bounds the response frame regardless of
+// directory size — a listing that once had to fit in a single frame now
+// streams. The scan runs against a point-in-time iterator locally, but
+// pages and the client's cross-daemon merge see no global lock — the
 // eventual consistency the paper accepts for indirect operations like
 // `ls -l` (§III-A).
 func (d *Daemon) handleReadDir(req []byte, _ rpc.Bulk) ([]byte, error) {
 	dec := rpc.NewDec(req)
 	dir := dec.Str()
+	after := dec.Str()
+	limit := dec.U32()
 	if err := dec.Done(); err != nil {
 		return nil, err
+	}
+	if limit == 0 {
+		limit = proto.DefaultReadDirPage
+	}
+	if limit > proto.MaxReadDirPage {
+		limit = proto.MaxReadDirPage
 	}
 	d.readDirs.Add(1)
 	prefix := dir
 	if prefix != meta.Root {
 		prefix += "/"
+	}
+	start := []byte(prefix)
+	if after != "" {
+		// Resume strictly after the last returned child: no string sorts
+		// between name and name+"\x00", and the seek landing among that
+		// child's own descendants is harmless — IsChildOf skips them.
+		start = []byte(prefix + after + "\x00")
 	}
 	it, err := d.db.NewIterator()
 	if err != nil {
@@ -374,13 +420,20 @@ func (d *Daemon) handleReadDir(req []byte, _ rpc.Bulk) ([]byte, error) {
 		size  int64
 	}
 	var ents []ent
-	for it.Seek([]byte(prefix)); it.Valid(); it.Next() {
+	next := ""
+	for it.Seek(start); it.Valid(); it.Next() {
 		p := string(it.Key())
 		if len(p) < len(prefix) || p[:len(prefix)] != prefix {
 			break
 		}
 		if !meta.IsChildOf(p, dir) {
 			continue // deeper descendant hashed here
+		}
+		if uint32(len(ents)) == limit {
+			// A further child exists: hand back a token so the client
+			// asks for the next page.
+			next = ents[len(ents)-1].name
+			break
 		}
 		m, err := meta.DecodeMetadata(it.Value())
 		if err != nil {
@@ -391,7 +444,7 @@ func (d *Daemon) handleReadDir(req []byte, _ rpc.Bulk) ([]byte, error) {
 	if err := it.Err(); err != nil {
 		return nil, err
 	}
-	e := okResp(16 * len(ents))
+	e := okResp(16*len(ents) + len(next) + 8)
 	e.U32(uint32(len(ents)))
 	for _, en := range ents {
 		e.Str(en.name)
@@ -402,14 +455,15 @@ func (d *Daemon) handleReadDir(req []byte, _ rpc.Bulk) ([]byte, error) {
 		}
 		e.I64(en.size)
 	}
+	e.Str(next)
 	return e.Bytes(), nil
 }
 
 func (d *Daemon) handleStats([]byte, rpc.Bulk) ([]byte, error) {
 	st := d.Stats()
-	e := okResp(9 * 8)
+	e := okResp(11 * 8)
 	e.U64(st.Creates).U64(st.StatOps).U64(st.Removes).U64(st.SizeUpdates)
 	e.U64(st.WriteOps).U64(st.ReadOps).U64(st.WriteBytes).U64(st.ReadBytes)
-	e.U64(st.ReadDirs)
+	e.U64(st.ReadDirs).U64(st.BatchRPCs).U64(st.BatchedOps)
 	return e.Bytes(), nil
 }

@@ -19,6 +19,7 @@ func TestHandlersSurviveGarbageRequests(t *testing.T) {
 		proto.OpPing, proto.OpCreate, proto.OpStat, proto.OpRemoveMeta,
 		proto.OpUpdateSize, proto.OpWriteChunks, proto.OpReadChunks,
 		proto.OpRemoveChunks, proto.OpTruncateChunks, proto.OpReadDir, proto.OpStats,
+		proto.OpBatchMeta,
 	}
 	rnd := rand.New(rand.NewSource(1))
 	for trial := 0; trial < 3000; trial++ {

@@ -32,6 +32,22 @@ type Distributor interface {
 	Name() string
 }
 
+// New returns the named distribution pattern over n daemons: "" or
+// "simplehash" for the paper's hashing, "guided-first-chunk" for the
+// co-located first-chunk variant. It is the single name→pattern mapping
+// shared by the cluster orchestrator and the CLIs, so a new pattern
+// becomes reachable everywhere at once.
+func New(name string, n int) (Distributor, error) {
+	switch name {
+	case "", "simplehash":
+		return NewSimpleHash(n), nil
+	case "guided-first-chunk":
+		return NewGuidedFirstChunk(n), nil
+	default:
+		return nil, fmt.Errorf("distributor: unknown pattern %q", name)
+	}
+}
+
 // hashPath hashes a path with FNV-1a, the same family of cheap
 // non-cryptographic hash the released GekkoFS uses (std::hash).
 func hashPath(path string) uint64 {

@@ -260,7 +260,9 @@ func (db *DB) Merge(key, operand []byte) error {
 }
 
 // Batch applies several operations atomically with respect to recovery:
-// either the whole batch replays from the WAL or none of it.
+// either the whole batch replays from the WAL or none of it. Batch
+// methods copy keys and values as they are queued, so Apply can hand the
+// entries to the memtable without a second copy.
 type Batch struct {
 	ops []entry
 }
@@ -280,19 +282,51 @@ func (b *Batch) Merge(key, operand []byte) {
 	b.ops = append(b.ops, entry{key: append([]byte(nil), key...), val: append([]byte(nil), operand...), kind: kindMerge})
 }
 
+// PutOwned, DeleteOwned and MergeOwned are the zero-copy variants: the
+// batch takes ownership of the buffers, which the caller must not touch
+// afterwards. They exist for hot batch producers (the daemon's vectored
+// metadata handler) whose buffers are freshly built per op anyway.
+
+// PutOwned adds a put whose buffers the batch takes ownership of.
+func (b *Batch) PutOwned(key, value []byte) {
+	b.ops = append(b.ops, entry{key: key, val: value, kind: kindPut})
+}
+
+// DeleteOwned adds a delete whose key buffer the batch takes ownership of.
+func (b *Batch) DeleteOwned(key []byte) {
+	b.ops = append(b.ops, entry{key: key, kind: kindDelete})
+}
+
+// MergeOwned adds a merge operand whose buffers the batch takes ownership
+// of.
+func (b *Batch) MergeOwned(key, operand []byte) {
+	b.ops = append(b.ops, entry{key: key, val: operand, kind: kindMerge})
+}
+
 // Len returns the number of queued operations.
 func (b *Batch) Len() int { return len(b.ops) }
 
-// Apply commits the batch.
+// Apply commits the batch. The batch owns its entry buffers (its methods
+// copied them at queue time), so they move into the memtable as-is; the
+// batch must not be reused after Apply.
 func (db *DB) Apply(b *Batch) error {
 	if len(b.ops) == 0 {
 		return nil
 	}
-	return db.apply(b.ops)
+	err := db.applyEntries(b.ops, true)
+	b.ops = nil
+	return err
 }
 
-// apply assigns sequence numbers, logs, and inserts the operations.
+// apply copies the callers' buffers and inserts the operations.
 func (db *DB) apply(ops []entry) error {
+	return db.applyEntries(ops, false)
+}
+
+// applyEntries assigns sequence numbers, logs, and inserts the
+// operations. owned declares that the entries' key/value buffers belong
+// to the store already and need no defensive copy.
+func (db *DB) applyEntries(ops []entry, owned bool) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.closed {
@@ -324,12 +358,11 @@ func (db *DB) apply(ops []entry) error {
 		}
 	}
 	for i := range ops {
-		// Copy key/val so callers may reuse their buffers.
-		e := entry{
-			key:  append([]byte(nil), ops[i].key...),
-			val:  append([]byte(nil), ops[i].val...),
-			seq:  ops[i].seq,
-			kind: ops[i].kind,
+		e := ops[i]
+		if !owned {
+			// Copy key/val so callers may reuse their buffers.
+			e.key = append([]byte(nil), ops[i].key...)
+			e.val = append([]byte(nil), ops[i].val...)
 		}
 		db.mem.add(e)
 		switch e.kind {
@@ -553,6 +586,33 @@ func keyStripe(key []byte) int {
 	h := fnv.New32a()
 	h.Write(key)
 	return int(h.Sum32() % 64)
+}
+
+// WithKeyLocks runs fn while holding the stripe locks covering every key,
+// acquired in stripe order so concurrent multi-key holders cannot
+// deadlock. PutIfAbsent and Update take the same locks, so fn reads and
+// mutates the covered keys atomically with respect to them — the
+// foundation for applying a read-validate-write batch (e.g. a vector of
+// create-exclusive inserts) as one Apply. fn must not call back into
+// PutIfAbsent, Update, or WithKeyLocks.
+func (db *DB) WithKeyLocks(keys [][]byte, fn func() error) error {
+	var stripes uint64 // one bit per stripe; len(keyLocks) == 64
+	for _, k := range keys {
+		stripes |= 1 << keyStripe(k)
+	}
+	for s := 0; s < len(db.keyLocks); s++ {
+		if stripes&(1<<s) != 0 {
+			db.keyLocks[s].Lock()
+		}
+	}
+	defer func() {
+		for s := len(db.keyLocks) - 1; s >= 0; s-- {
+			if stripes&(1<<s) != 0 {
+				db.keyLocks[s].Unlock()
+			}
+		}
+	}()
+	return fn()
 }
 
 // reader returns (opening if needed) the cached sstReader for a table.

@@ -845,3 +845,87 @@ func TestIteratorDuringCompaction(t *testing.T) {
 		t.Fatalf("post-compaction read = %q, %v", v, err)
 	}
 }
+
+func TestWithKeyLocksAtomicVsPutIfAbsent(t *testing.T) {
+	db := openTestDB(t, Options{})
+	// A read-validate-apply sequence under WithKeyLocks must be atomic
+	// with respect to concurrent PutIfAbsent on the same keys: exactly
+	// one side of each race wins, never both.
+	const keys = 200
+	keyOf := func(i int) []byte { return []byte(fmt.Sprintf("key-%03d", i)) }
+	batchWins := make([]bool, keys)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < keys; i++ {
+			k := keyOf(i)
+			db.WithKeyLocks([][]byte{k}, func() error {
+				if _, err := db.Get(k); errors.Is(err, ErrNotFound) {
+					b := &Batch{}
+					b.Put(k, []byte("batch"))
+					batchWins[i] = true
+					return db.Apply(b)
+				}
+				return nil
+			})
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := keys - 1; i >= 0; i-- {
+			if _, err := db.PutIfAbsent(keyOf(i), []byte("single")); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	for i := 0; i < keys; i++ {
+		v, err := db.Get(keyOf(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := "single"
+		if batchWins[i] {
+			want = "batch"
+		}
+		if string(v) != want {
+			t.Fatalf("key %d = %q, want %q (winner not exclusive)", i, v, want)
+		}
+	}
+}
+
+func TestBatchOwnedVariantsRoundTrip(t *testing.T) {
+	db := openTestDB(t, Options{Merger: func(_, existing []byte, ops [][]byte) []byte {
+		out := append([]byte(nil), existing...)
+		for _, op := range ops {
+			out = append(out, op...)
+		}
+		return out
+	}})
+	if err := db.Put([]byte("gone"), []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	b := &Batch{}
+	b.PutOwned([]byte("a"), []byte("1"))
+	b.MergeOwned([]byte("a"), []byte("2"))
+	b.DeleteOwned([]byte("gone"))
+	if b.Len() != 3 {
+		t.Fatalf("batch len = %d", b.Len())
+	}
+	if err := db.Apply(b); err != nil {
+		t.Fatal(err)
+	}
+	v, err := db.Get([]byte("a"))
+	if err != nil || string(v) != "12" {
+		t.Fatalf("merged owned batch = %q, %v", v, err)
+	}
+	if _, err := db.Get([]byte("gone")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("owned delete = %v", err)
+	}
+	// Apply consumed the batch; an accidental re-Apply is a no-op.
+	if err := db.Apply(b); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -38,10 +38,16 @@ const (
 	// target daemon.
 	OpTruncateChunks
 	// OpReadDir scans the daemon-local KV store for children of a
-	// directory.
+	// directory, one bounded page per call (continuation token + limit),
+	// so listings of any size stream in bounded frames.
 	OpReadDir
 	// OpStats returns daemon operation counters (tooling/tests).
 	OpStats
+	// OpBatchMeta applies a vector of metadata sub-ops
+	// (create/stat/remove/update-size) in one RPC, returning a per-op
+	// errno vector. Mutating sub-ops commit through one KV batch (one WAL
+	// append per RPC instead of one per op).
+	OpBatchMeta
 )
 
 // Errno is the wire representation of an expected file system error.
@@ -181,4 +187,216 @@ func SpanBytes(spans []ChunkSpan) int64 {
 		n += s.Len
 	}
 	return n
+}
+
+// RemoveFileOnly is the OpRemoveMeta flag bit asking the daemon to refuse
+// directories with ErrnoIsDir instead of deleting them. It lets a client
+// unlink a regular file in a single RPC — no leading stat to find out
+// whether the path is a directory — and fall back to the directory
+// protocol only when the daemon says so.
+const RemoveFileOnly uint8 = 1 << 0
+
+// ReadDir pagination. Each OpReadDir call returns at most a page of
+// entries plus a continuation token (the last returned name; empty means
+// the scan is exhausted), so a huge directory never has to fit in one
+// response frame.
+const (
+	// DefaultReadDirPage is the page size used when a request asks for 0.
+	DefaultReadDirPage = 4096
+	// MaxReadDirPage caps the page size a daemon will honor, bounding the
+	// response frame regardless of what the request claims.
+	MaxReadDirPage = 1 << 16
+)
+
+// MetaOpKind discriminates OpBatchMeta sub-operations.
+type MetaOpKind uint8
+
+// Batch sub-operation kinds.
+const (
+	// MetaOpCreate inserts a metadata record if absent (OpCreate).
+	MetaOpCreate MetaOpKind = iota + 1
+	// MetaOpStat fetches a record (OpStat).
+	MetaOpStat
+	// MetaOpRemove deletes a record, reporting its mode and size
+	// (OpRemoveMeta).
+	MetaOpRemove
+	// MetaOpUpdateSize grows or truncates a file's size (OpUpdateSize).
+	MetaOpUpdateSize
+)
+
+// MetaOp is one sub-operation of an OpBatchMeta request.
+type MetaOp struct {
+	// Kind selects the operation.
+	Kind MetaOpKind
+	// Path is the target path (canonical).
+	Path string
+	// Mode is the record mode for MetaOpCreate.
+	Mode meta.Mode
+	// Size is the size candidate (grow) or exact size (truncate) for
+	// MetaOpUpdateSize.
+	Size int64
+	// Truncate selects set-exactly over grow for MetaOpUpdateSize.
+	Truncate bool
+	// FileOnly makes MetaOpRemove refuse directories (RemoveFileOnly).
+	FileOnly bool
+	// TimeNS is the ctime (create) or mtime (update-size) in UnixNano.
+	TimeNS int64
+}
+
+// MetaResult is one sub-operation's outcome in an OpBatchMeta reply.
+type MetaResult struct {
+	// Errno is the per-op outcome; OK means the op-specific fields below
+	// are populated.
+	Errno Errno
+	// Blob is the encoded metadata record (MetaOpStat only).
+	Blob []byte
+	// Mode and Size describe the removed record (MetaOpRemove only), so
+	// the client knows whether chunk collection is needed.
+	Mode meta.Mode
+	Size int64
+}
+
+// minMetaOpBytes is the smallest possible encoded sub-op: kind byte plus a
+// zero-length path prefix. Anything claiming more ops than the remaining
+// bytes could hold at this size is lying about its count.
+const minMetaOpBytes = 2
+
+// MaxBatchOps caps the sub-ops one OpBatchMeta may carry. It bounds how
+// long a daemon holds the KV stripe locks for one batch; clients shard
+// larger vectors into multiple RPCs.
+const MaxBatchOps = 1 << 16
+
+// EncodeMetaOps appends a sub-op vector to an encoder: [u32 count] then
+// per op a kind byte, the path, and kind-specific fields.
+func EncodeMetaOps(e *rpc.Enc, ops []MetaOp) {
+	e.U32(uint32(len(ops)))
+	for i := range ops {
+		EncodeMetaOp(e, &ops[i])
+	}
+}
+
+// EncodeMetaOp appends one sub-op. Callers encoding a shard of a larger
+// vector emit the count themselves and call this per op, avoiding a
+// gathered copy of the shard.
+func EncodeMetaOp(e *rpc.Enc, op *MetaOp) {
+	e.U8(uint8(op.Kind)).Str(op.Path)
+	switch op.Kind {
+	case MetaOpCreate:
+		e.U8(uint8(op.Mode)).I64(op.TimeNS)
+	case MetaOpStat:
+	case MetaOpRemove:
+		var flags uint8
+		if op.FileOnly {
+			flags |= RemoveFileOnly
+		}
+		e.U8(flags)
+	case MetaOpUpdateSize:
+		var flags uint8
+		if op.Truncate {
+			flags |= 1
+		}
+		e.I64(op.Size).U8(flags).I64(op.TimeNS)
+	}
+}
+
+// DecodeMetaOps reads what EncodeMetaOps wrote, with the same wrap-proof
+// discipline as DecodeSpans: the claimed count is validated against the
+// remaining buffer before any allocation, unknown kinds and negative
+// sizes poison the decoder.
+func DecodeMetaOps(d *rpc.Dec) []MetaOp {
+	n := d.U32()
+	if d.Err() != nil {
+		return nil
+	}
+	if n > MaxBatchOps || int64(n)*minMetaOpBytes > int64(d.Remaining()) {
+		d.Corrupt()
+		return nil
+	}
+	ops := make([]MetaOp, 0, n)
+	for i := uint32(0); i < n; i++ {
+		op := MetaOp{Kind: MetaOpKind(d.U8()), Path: d.Str()}
+		switch op.Kind {
+		case MetaOpCreate:
+			op.Mode = meta.Mode(d.U8())
+			op.TimeNS = d.I64()
+		case MetaOpStat:
+		case MetaOpRemove:
+			op.FileOnly = d.U8()&RemoveFileOnly != 0
+		case MetaOpUpdateSize:
+			op.Size = d.I64()
+			op.Truncate = d.U8()&1 != 0
+			op.TimeNS = d.I64()
+			if op.Size < 0 {
+				d.Corrupt()
+				return nil
+			}
+		default:
+			d.Corrupt()
+			return nil
+		}
+		if d.Err() != nil {
+			return nil
+		}
+		ops = append(ops, op)
+	}
+	return ops
+}
+
+// EncodeMetaResults appends the per-op outcome vector. ops must be the
+// request vector the results answer — the reply shape of each result
+// depends on its op's kind.
+func EncodeMetaResults(e *rpc.Enc, ops []MetaOp, results []MetaResult) {
+	e.U32(uint32(len(results)))
+	for i, r := range results {
+		e.U16(uint16(r.Errno))
+		if r.Errno != OK {
+			continue
+		}
+		switch ops[i].Kind {
+		case MetaOpStat:
+			e.Blob(r.Blob)
+		case MetaOpRemove:
+			e.U8(uint8(r.Mode)).I64(r.Size)
+		}
+	}
+}
+
+// DecodeMetaResults reads what EncodeMetaResults wrote, against the
+// request vector the caller sent. A reply whose count disagrees with the
+// request poisons the decoder.
+func DecodeMetaResults(d *rpc.Dec, ops []MetaOp) []MetaResult {
+	n := d.U32()
+	if d.Err() != nil {
+		return nil
+	}
+	if int(n) != len(ops) {
+		d.Corrupt()
+		return nil
+	}
+	results := make([]MetaResult, 0, n)
+	for i := range ops {
+		r := DecodeMetaResult(d, ops[i].Kind)
+		if d.Err() != nil {
+			return nil
+		}
+		results = append(results, r)
+	}
+	return results
+}
+
+// DecodeMetaResult reads one result. The shard-count preamble and the
+// count check are the caller's job (see DecodeMetaResults); this is the
+// per-op half for callers scattering a reply without a gathered shard.
+func DecodeMetaResult(d *rpc.Dec, kind MetaOpKind) MetaResult {
+	r := MetaResult{Errno: Errno(d.U16())}
+	if r.Errno == OK {
+		switch kind {
+		case MetaOpStat:
+			r.Blob = d.Blob()
+		case MetaOpRemove:
+			r.Mode = meta.Mode(d.U8())
+			r.Size = d.I64()
+		}
+	}
+	return r
 }

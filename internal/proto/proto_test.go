@@ -73,3 +73,118 @@ func TestDecodeSpansTruncated(t *testing.T) {
 		t.Fatal("truncated span list decoded cleanly")
 	}
 }
+
+func sampleMetaOps() []MetaOp {
+	return []MetaOp{
+		{Kind: MetaOpCreate, Path: "/a", Mode: meta.ModeRegular, TimeNS: 42},
+		{Kind: MetaOpCreate, Path: "/d", Mode: meta.ModeDir, TimeNS: 43},
+		{Kind: MetaOpStat, Path: "/a"},
+		{Kind: MetaOpRemove, Path: "/a", FileOnly: true},
+		{Kind: MetaOpRemove, Path: "/d"},
+		{Kind: MetaOpUpdateSize, Path: "/a", Size: 1 << 30, TimeNS: 44},
+		{Kind: MetaOpUpdateSize, Path: "/a", Size: 7, Truncate: true, TimeNS: 45},
+	}
+}
+
+func TestMetaOpsRoundTrip(t *testing.T) {
+	ops := sampleMetaOps()
+	e := rpc.NewEnc(64)
+	EncodeMetaOps(e, ops)
+	d := rpc.NewDec(e.Bytes())
+	got := DecodeMetaOps(d)
+	if err := d.Done(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ops) {
+		t.Fatalf("decoded %d ops, want %d", len(got), len(ops))
+	}
+	for i := range ops {
+		if got[i] != ops[i] {
+			t.Errorf("op %d = %+v, want %+v", i, got[i], ops[i])
+		}
+	}
+}
+
+func TestMetaOpsHostileFrames(t *testing.T) {
+	// A claimed count far beyond what the remaining bytes could hold must
+	// poison the decoder before any allocation.
+	e := rpc.NewEnc(8)
+	e.U32(1 << 30)
+	d := rpc.NewDec(e.Bytes())
+	if DecodeMetaOps(d); d.Err() == nil {
+		t.Fatal("absurd op count decoded cleanly")
+	}
+
+	// Counts above the batch cap are refused even when the bytes exist.
+	e = rpc.NewEnc(8)
+	e.U32(MaxBatchOps + 1)
+	d = rpc.NewDec(append(e.Bytes(), make([]byte, 3*(MaxBatchOps+1))...))
+	if DecodeMetaOps(d); d.Err() == nil {
+		t.Fatal("over-cap op count decoded cleanly")
+	}
+
+	// Unknown kinds poison the decoder.
+	e = rpc.NewEnc(8)
+	e.U32(1).U8(200)
+	e.Str("/x")
+	d = rpc.NewDec(e.Bytes())
+	if DecodeMetaOps(d); d.Err() == nil {
+		t.Fatal("unknown op kind decoded cleanly")
+	}
+
+	// Negative sizes poison the decoder.
+	e = rpc.NewEnc(16)
+	e.U32(1).U8(uint8(MetaOpUpdateSize))
+	e.Str("/x")
+	e.I64(-5).U8(1).I64(0)
+	d = rpc.NewDec(e.Bytes())
+	if DecodeMetaOps(d); d.Err() == nil {
+		t.Fatal("negative size decoded cleanly")
+	}
+
+	// Truncated mid-op frames error instead of fabricating ops.
+	e = rpc.NewEnc(16)
+	EncodeMetaOps(e, sampleMetaOps())
+	full := e.Bytes()
+	for _, cut := range []int{1, len(full) / 2, len(full) - 1} {
+		d = rpc.NewDec(full[:cut])
+		if ops := DecodeMetaOps(d); d.Err() == nil && len(ops) == len(sampleMetaOps()) {
+			t.Fatalf("cut at %d decoded a full vector", cut)
+		}
+	}
+}
+
+func TestMetaResultsRoundTrip(t *testing.T) {
+	ops := sampleMetaOps()
+	md := meta.Metadata{Mode: meta.ModeRegular, Size: 9, CTimeNS: 1, MTimeNS: 2}
+	results := []MetaResult{
+		{Errno: ErrnoExist},
+		{},
+		{Blob: md.Encode()},
+		{Mode: meta.ModeRegular, Size: 512},
+		{Errno: ErrnoIsDir},
+		{},
+		{Errno: ErrnoNotExist},
+	}
+	e := rpc.NewEnc(64)
+	EncodeMetaResults(e, ops, results)
+	d := rpc.NewDec(e.Bytes())
+	got := DecodeMetaResults(d, ops)
+	if err := d.Done(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range results {
+		if got[i].Errno != results[i].Errno || got[i].Mode != results[i].Mode || got[i].Size != results[i].Size {
+			t.Errorf("result %d = %+v, want %+v", i, got[i], results[i])
+		}
+	}
+	if dec, err := meta.DecodeMetadata(got[2].Blob); err != nil || dec != md {
+		t.Errorf("stat blob = %+v, %v", dec, err)
+	}
+
+	// A reply whose count disagrees with the request poisons the decoder.
+	d = rpc.NewDec(e.Bytes())
+	if DecodeMetaResults(d, ops[:3]); d.Err() == nil {
+		t.Fatal("count mismatch decoded cleanly")
+	}
+}

@@ -30,6 +30,11 @@ type MDTestConfig struct {
 	Workers int
 	// FilesPerWorker is the per-process file count.
 	FilesPerWorker int
+	// BatchSize > 1 drives every phase through the vectored metadata
+	// plane (CreateMany/StatMany/RemoveMany) in groups of BatchSize ops
+	// — one RPC per daemon per group instead of one RPC per file.
+	// 0 or 1 keeps the per-op protocol.
+	BatchSize int
 }
 
 // MDTestResult reports one phase triple.
@@ -86,9 +91,35 @@ func RunMDTest(factory ClientFactory, cfg MDTestConfig) (MDTestResult, error) {
 		return total / elapsed.Seconds(), nil
 	}
 
+	// batches yields a worker's file names in groups of BatchSize.
+	batches := func(w int, fn func(paths []string) []error) error {
+		paths := make([]string, 0, cfg.BatchSize)
+		flush := func() error {
+			if len(paths) == 0 {
+				return nil
+			}
+			err := errors.Join(fn(paths)...)
+			paths = paths[:0]
+			return err
+		}
+		for i := 0; i < cfg.FilesPerWorker; i++ {
+			paths = append(paths, name(w, i))
+			if len(paths) == cfg.BatchSize {
+				if err := flush(); err != nil {
+					return err
+				}
+			}
+		}
+		return flush()
+	}
+	batched := cfg.BatchSize > 1
+
 	res := MDTestResult{Files: cfg.Workers * cfg.FilesPerWorker}
 	res.CreatesPerSec, err = phase(func(w int) error {
 		c := clients[w]
+		if batched {
+			return batches(w, c.CreateMany)
+		}
 		for i := 0; i < cfg.FilesPerWorker; i++ {
 			fd, err := c.Open(name(w, i), client.O_WRONLY|client.O_CREATE|client.O_EXCL)
 			if err != nil {
@@ -105,6 +136,12 @@ func RunMDTest(factory ClientFactory, cfg MDTestConfig) (MDTestResult, error) {
 	}
 	res.StatsPerSec, err = phase(func(w int) error {
 		c := clients[w]
+		if batched {
+			return batches(w, func(paths []string) []error {
+				_, errs := c.StatMany(paths)
+				return errs
+			})
+		}
 		for i := 0; i < cfg.FilesPerWorker; i++ {
 			if _, err := c.Stat(name(w, i)); err != nil {
 				return err
@@ -117,6 +154,9 @@ func RunMDTest(factory ClientFactory, cfg MDTestConfig) (MDTestResult, error) {
 	}
 	res.RemovesPerSec, err = phase(func(w int) error {
 		c := clients[w]
+		if batched {
+			return batches(w, c.RemoveMany)
+		}
 		for i := 0; i < cfg.FilesPerWorker; i++ {
 			if err := c.Remove(name(w, i)); err != nil {
 				return err

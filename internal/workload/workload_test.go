@@ -37,6 +37,32 @@ func TestMDTestRuns(t *testing.T) {
 	}
 }
 
+func TestMDTestBatchedRuns(t *testing.T) {
+	f := clusterFactory(t, 3, 0)
+	// Batch size deliberately not dividing the per-worker file count, so
+	// the final short batch is exercised too.
+	res, err := RunMDTest(f, MDTestConfig{Dir: "/mdtb", Workers: 4, FilesPerWorker: 50, BatchSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Files != 200 {
+		t.Fatalf("files = %d", res.Files)
+	}
+	if res.CreatesPerSec <= 0 || res.StatsPerSec <= 0 || res.RemovesPerSec <= 0 {
+		t.Fatalf("rates = %+v", res)
+	}
+	c, _ := f()
+	ents, err := c.ReadDir("/mdtb")
+	if err != nil || len(ents) != 0 {
+		t.Fatalf("leftovers = %v, %v", ents, err)
+	}
+	// A second batched run over the same directory must also work (the
+	// create phase sees a clean namespace again).
+	if _, err := RunMDTest(f, MDTestConfig{Dir: "/mdtb", Workers: 2, FilesPerWorker: 33, BatchSize: 8}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestMDTestValidation(t *testing.T) {
 	f := clusterFactory(t, 1, 0)
 	if _, err := RunMDTest(f, MDTestConfig{Dir: "/x", Workers: 0, FilesPerWorker: 5}); err == nil {
