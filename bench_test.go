@@ -360,12 +360,13 @@ func BenchmarkRealRead1M(b *testing.B) {
 }
 
 // tcpCluster stands up daemons on loopback listeners and returns a
-// client whose per-daemon traffic is striped over conns TCP connections.
-func tcpCluster(b *testing.B, nodes, conns int) *client.Client {
+// client built from cfg whose per-daemon traffic is striped over conns
+// TCP connections.
+func tcpCluster(b *testing.B, nodes, conns int, cfg client.Config) *client.Client {
 	b.Helper()
 	clientConns := make([]rpc.Conn, nodes)
 	for i := 0; i < nodes; i++ {
-		d, err := daemon.New(daemon.Config{ID: i, FS: vfs.NewMem()})
+		d, err := daemon.New(daemon.Config{ID: i, FS: vfs.NewMem(), ChunkSize: cfg.ChunkSize})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -383,7 +384,8 @@ func tcpCluster(b *testing.B, nodes, conns int) *client.Client {
 		b.Cleanup(func() { conn.Close() })
 		clientConns[i] = conn
 	}
-	c, err := client.New(client.Config{Conns: clientConns})
+	cfg.Conns = clientConns
+	c, err := client.New(cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -405,7 +407,7 @@ func BenchmarkRealTCPLargeIO(b *testing.B) {
 	)
 	for _, conns := range []int{1, 2, 8} {
 		b.Run(fmt.Sprintf("conns-%d", conns), func(b *testing.B) {
-			c := tcpCluster(b, 2, conns)
+			c := tcpCluster(b, 2, conns, client.Config{})
 			fds := make([]int, workers)
 			buf := make([]byte, ioSize)
 			for w := range fds {
@@ -441,6 +443,51 @@ func BenchmarkRealTCPLargeIO(b *testing.B) {
 					}(w)
 				}
 				wg.Wait()
+			}
+		})
+	}
+}
+
+// BenchmarkAsyncWriteStream measures a single writer streaming over real
+// TCP sockets to a 4-daemon cluster: the synchronous protocol (each
+// Write blocks on its chunk round trips plus a size-update RPC) against
+// the write-behind pipeline at growing window depths. This is the
+// latency-to-throughput conversion the pipeline exists for — one stream
+// saturating multiple daemons instead of ping-ponging one RPC at a time.
+// Fsync inside the timed region keeps the async numbers honest: the
+// barrier's drain is part of the cost.
+func BenchmarkAsyncWriteStream(b *testing.B) {
+	const (
+		nodes   = 4
+		ioSize  = 256 << 10
+		chunkSz = 64 << 10
+	)
+	for _, window := range []int{0, 4, 16} {
+		name := "sync"
+		if window > 0 {
+			name = fmt.Sprintf("window-%d", window)
+		}
+		b.Run(name, func(b *testing.B) {
+			c := tcpCluster(b, nodes, 4, client.Config{
+				ChunkSize:   chunkSz,
+				AsyncWrites: window > 0,
+				WriteWindow: window,
+			})
+			fd, err := c.Create("/stream")
+			if err != nil {
+				b.Fatal(err)
+			}
+			buf := make([]byte, ioSize)
+			b.SetBytes(ioSize)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// Bounded 16 MiB region: per-op cost independent of b.N.
+				if _, err := c.WriteAt(fd, buf, int64(i%64)*ioSize); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := c.Fsync(fd); err != nil {
+				b.Fatal(err)
 			}
 		})
 	}

@@ -56,6 +56,8 @@ func main() {
 	random := flag.Bool("random", false, "ior: random transfer order")
 	shared := flag.Bool("shared", false, "ior: one shared file (N-to-1)")
 	sizeCache := flag.Int("size-cache", 0, "client size-update cache (ops per flush; 0 = off)")
+	async := flag.Bool("async", false, "write-behind pipeline: writes return immediately, Fsync/Close are barriers")
+	window := flag.Int("window", 0, "async: in-flight chunk-RPC window per descriptor (0 = default)")
 	connsN := flag.Int("conns", 1, "striped transport connections per daemon")
 	distName := flag.String("distributor", "simplehash", "placement pattern: simplehash | guided-first-chunk")
 	batch := flag.Int("batch", 0, "mdtest: ops per batched metadata RPC (0/1 = per-op protocol)")
@@ -73,6 +75,7 @@ func main() {
 	if *daemons == "" {
 		cluster, err := core.NewCluster(core.Config{
 			Nodes: *nodes, ChunkSize: chunk, SizeCacheOps: *sizeCache, Conns: *connsN,
+			AsyncWrites: *async, WriteWindow: *window,
 			Distributor: *distName, DataDir: *dataDir, SyncWAL: *syncWAL,
 		})
 		if err != nil {
@@ -99,8 +102,12 @@ func main() {
 			}
 			c, err := client.New(client.Config{
 				Conns: conns, Dist: dist, ChunkSize: chunk, SizeCacheOps: *sizeCache,
+				AsyncWrites: *async, WriteWindow: *window,
 			})
 			if err != nil {
+				return nil, err
+			}
+			if err := c.VerifyProtocol(); err != nil {
 				return nil, err
 			}
 			return c, c.EnsureRoot()

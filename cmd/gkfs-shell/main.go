@@ -33,6 +33,8 @@ func main() {
 	chunk := flag.Int64("chunk", meta.DefaultChunkSize, "chunk size in bytes (must match the daemons)")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-RPC timeout")
 	connsN := flag.Int("conns", 1, "striped transport connections per daemon")
+	async := flag.Bool("async", false, "write-behind pipeline for put: writes return immediately, close is the barrier")
+	window := flag.Int("window", 0, "async: in-flight chunk-RPC window per descriptor (0 = default)")
 	distName := flag.String("distributor", "simplehash", "placement pattern: simplehash | guided-first-chunk (must match the deployment's other clients)")
 	flag.Parse()
 	args := flag.Args()
@@ -54,8 +56,14 @@ func main() {
 		defer conn.Close()
 		conns[i] = conn
 	}
-	c, err := client.New(client.Config{Conns: conns, Dist: dist, ChunkSize: *chunk})
+	c, err := client.New(client.Config{
+		Conns: conns, Dist: dist, ChunkSize: *chunk,
+		AsyncWrites: *async, WriteWindow: *window,
+	})
 	if err != nil {
+		fatal("%v", err)
+	}
+	if err := c.VerifyProtocol(); err != nil {
 		fatal("%v", err)
 	}
 	if err := c.EnsureRoot(); err != nil {

@@ -174,9 +174,13 @@ func (f *File) Seek(offset int64, whence int) (int64, error) {
 // WithSizeUpdateCache flush on Sync/Close).
 func (f *File) Stat() (FileInfo, error) { return f.fs.c.Stat(f.name) }
 
-// Sync flushes cached size updates; data is already durable when writes
-// return (synchronous protocol).
+// Sync is the write barrier. In the default synchronous mode data is
+// already stored when writes return, so only cached size updates move.
+// Under WithAsyncWrites, Sync drains the descriptor's in-flight window,
+// flushes the size candidate, and surfaces any latched write error —
+// a nil return means everything written so far is stored and visible.
 func (f *File) Sync() error { return f.fs.c.Fsync(f.fd) }
 
-// Close releases the descriptor, flushing cached size updates.
+// Close releases the descriptor with the same barrier semantics as Sync
+// (the descriptor is released even when the barrier reports an error).
 func (f *File) Close() error { return f.fs.c.Close(f.fd) }

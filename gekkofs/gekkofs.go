@@ -109,6 +109,26 @@ func WithDistributor(name string) Option { return func(c *core.Config) { c.Distr
 // serializing on a single socket.
 func WithConns(n int) Option { return func(c *core.Config) { c.Conns = n } }
 
+// WithAsyncWrites enables the write-behind data pipeline, the
+// relaxed-semantics fast path for streaming writers: File.Write/WriteAt
+// stage their chunk RPCs into a bounded per-descriptor in-flight window
+// (depth `window`; 0 selects the default of 8) and return immediately,
+// so a single writer overlaps transfers to every daemon instead of
+// blocking a round trip per call. The contract moves to the barriers:
+// File.Sync and File.Close drain the window and flush the file-size
+// candidate, and a write failure latches on the descriptor and surfaces
+// exactly once — on the next Write, Sync or Close. Reads through the
+// same File drain its window first, so a process always reads its own
+// completed writes. Stay synchronous (the default) when every Write's
+// error must refer to that write, or when another process must observe
+// data without waiting for this one's Sync.
+func WithAsyncWrites(window int) Option {
+	return func(c *core.Config) {
+		c.AsyncWrites = true
+		c.WriteWindow = window
+	}
+}
+
 // Cluster is a running GekkoFS deployment.
 type Cluster struct {
 	c *core.Cluster

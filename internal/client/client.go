@@ -59,6 +59,16 @@ type Config struct {
 	// them every SizeCacheOps writes (and on close/sync) — the paper's
 	// shared-file fix. Zero keeps the strict synchronous protocol.
 	SizeCacheOps int
+	// AsyncWrites enables the write-behind pipeline: Write/WriteAt stage
+	// chunk RPCs into a bounded per-descriptor window and return
+	// immediately; Fsync/Close drain the window and flush the size
+	// candidate; errors latch and surface on the next write or barrier
+	// (see pipeline.go). Size updates are always deferred to barriers in
+	// this mode — SizeCacheOps is subsumed and ignored.
+	AsyncWrites bool
+	// WriteWindow bounds in-flight chunk-write RPCs per descriptor when
+	// AsyncWrites is on. Zero selects DefaultWriteWindow.
+	WriteWindow int
 }
 
 // Client is one application's view of the file system.
@@ -67,6 +77,8 @@ type Client struct {
 	dist         distributor.Distributor
 	chunkSize    int64
 	sizeCacheOps int
+	asyncWrites  bool
+	writeWindow  int
 	readDirPage  uint32 // entries requested per OpReadDir page
 
 	mu     sync.Mutex
@@ -86,6 +98,13 @@ type openFile struct {
 	// atomic so lock-free readers (ReadAt's EOF clamp) can consult it.
 	pendingSize atomic.Int64
 	pendingOps  int
+
+	// Write-behind state (active when Client.asyncWrites). pl is the
+	// descriptor's in-flight window; sizeDirty marks an unflushed
+	// pendingSize candidate awaiting the next barrier. Both are guarded
+	// by mu.
+	pl        *pipeline
+	sizeDirty bool
 }
 
 // sizeFloor returns the best known lower bound for the file size: the
@@ -118,11 +137,16 @@ func New(cfg Config) (*Client, error) {
 	if cfg.ChunkSize < 0 {
 		return nil, fmt.Errorf("client: invalid chunk size %d", cfg.ChunkSize)
 	}
+	if cfg.WriteWindow < 0 {
+		return nil, fmt.Errorf("client: invalid write window %d", cfg.WriteWindow)
+	}
 	return &Client{
 		conns:        cfg.Conns,
 		dist:         cfg.Dist,
 		chunkSize:    cfg.ChunkSize,
 		sizeCacheOps: cfg.SizeCacheOps,
+		asyncWrites:  cfg.AsyncWrites,
+		writeWindow:  cfg.WriteWindow,
 		readDirPage:  proto.DefaultReadDirPage,
 		files:        make(map[int]*openFile),
 		nextFD:       3,
@@ -267,7 +291,11 @@ func (c *Client) Open(path string, flags int) (int, error) {
 	defer c.mu.Unlock()
 	fd := c.nextFD
 	c.nextFD++
-	c.files[fd] = &openFile{path: p, flags: flags}
+	of := &openFile{path: p, flags: flags}
+	if c.asyncWrites && accMode != O_RDONLY {
+		of.pl = newPipeline(c.writeWindow)
+	}
+	c.files[fd] = of
 	return fd, nil
 }
 
@@ -286,7 +314,10 @@ func (c *Client) lookupFD(fd int) (*openFile, error) {
 	return of, nil
 }
 
-// Close releases a descriptor, flushing any cached size updates.
+// Close releases a descriptor. It is a barrier: under AsyncWrites it
+// drains the descriptor's in-flight window and surfaces any latched
+// write error; in every mode it flushes cached size updates. The
+// descriptor is released even when the barrier reports an error.
 func (c *Client) Close(fd int) error {
 	c.mu.Lock()
 	of, ok := c.files[fd]
@@ -297,12 +328,16 @@ func (c *Client) Close(fd int) error {
 	}
 	of.mu.Lock()
 	defer of.mu.Unlock()
-	return c.flushSizeLocked(of)
+	return c.barrierLocked(of)
 }
 
-// Fsync flushes cached size updates. Data needs no flushing: every write
-// RPC is acknowledged only after the daemon stored it (synchronous,
-// cache-less design).
+// Fsync is the write barrier. Under AsyncWrites it drains the
+// descriptor's in-flight window, surfaces any latched write error
+// (exactly once), and flushes the cached size candidate; a nil return
+// means every prior write on this descriptor is stored and its size is
+// visible cluster-wide. In the synchronous modes data needs no flushing —
+// every write RPC is acknowledged only after the daemon stored it — so
+// only cached size updates move.
 func (c *Client) Fsync(fd int) error {
 	of, err := c.lookupFD(fd)
 	if err != nil {
@@ -310,7 +345,46 @@ func (c *Client) Fsync(fd int) error {
 	}
 	of.mu.Lock()
 	defer of.mu.Unlock()
-	return c.flushSizeLocked(of)
+	return c.barrierLocked(of)
+}
+
+// barrierLocked drains the descriptor's write-behind window (when one
+// exists) and flushes its size state. Caller holds of.mu. Both the
+// latched write error and a size-flush failure are reported; the write
+// error is cleared (surfaced exactly once), and after a failed write the
+// affected byte ranges are undefined — temporary-FS semantics leave
+// recovery (rewrite or discard) to the application.
+func (c *Client) barrierLocked(of *openFile) error {
+	if of.pl == nil {
+		return c.flushSizeLocked(of)
+	}
+	of.pl.drain()
+	werr := of.pl.takeErr()
+	serr := c.flushAsyncSizeLocked(of)
+	return errors.Join(werr, serr)
+}
+
+// VerifyProtocol pings every daemon and checks it speaks this client's
+// protocol generation. Deployments carry no per-message version tags, so
+// this is the guard that turns a mixed-generation cluster into one clear
+// mount-time error instead of undecodable replies mid-I/O.
+func (c *Client) VerifyProtocol() error {
+	return c.fanOut(func(node int) error {
+		d, err := c.call(node, proto.OpPing, nil, nil, rpc.BulkNone)
+		if err != nil {
+			return err
+		}
+		_ = d.U32() // daemon ID
+		if d.Remaining() < 2 {
+			return fmt.Errorf("client: daemon %d predates protocol version %d (no version in ping reply)",
+				node, proto.ProtocolVersion)
+		}
+		if v := d.U16(); v != proto.ProtocolVersion {
+			return fmt.Errorf("client: daemon %d speaks protocol version %d, client requires %d",
+				node, v, proto.ProtocolVersion)
+		}
+		return nil
+	})
 }
 
 // PathOf reports the path behind a descriptor (tooling).
@@ -559,6 +633,24 @@ func (c *Client) Truncate(path string, size int64) error {
 	}
 	if size < 0 {
 		return proto.ErrInval
+	}
+	// Drain this client's write-behind windows for the path first: a
+	// staged chunk write landing after OpTruncateChunks would resurrect
+	// discarded bytes. (Cross-client truncate-while-writing remains
+	// undefined, as the paper has it; program order within this client
+	// is preserved.)
+	c.mu.Lock()
+	var pending []*openFile
+	for _, of := range c.files {
+		if of.path == p && of.pl != nil {
+			pending = append(pending, of)
+		}
+	}
+	c.mu.Unlock()
+	for _, of := range pending {
+		of.mu.Lock()
+		of.pl.drain()
+		of.mu.Unlock()
 	}
 	e := rpc.NewEnc(len(p) + 24)
 	e.Str(p).I64(size).U8(1).I64(time.Now().UnixNano())

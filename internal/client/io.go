@@ -1,6 +1,8 @@
 package client
 
 import (
+	"errors"
+	"fmt"
 	"io"
 	"sync"
 	"time"
@@ -42,7 +44,9 @@ func (c *Client) groupByTarget(path string, off, n int64) map[int]*targetGroup {
 }
 
 // runGroups executes fn per target group, in parallel when more than one
-// daemon is involved.
+// daemon is involved. Every group's error is reported (errors.Join): a
+// multi-daemon failure must not be silently narrowed to whichever single
+// cause happened to be observed first.
 func runGroups(groups map[int]*targetGroup, fn func(node int, g *targetGroup) error) error {
 	if len(groups) == 1 {
 		for node, g := range groups {
@@ -50,19 +54,18 @@ func runGroups(groups map[int]*targetGroup, fn func(node int, g *targetGroup) er
 		}
 	}
 	var wg sync.WaitGroup
-	errCh := make(chan error, len(groups))
+	errs := make([]error, len(groups))
+	i := 0
 	for node, g := range groups {
 		wg.Add(1)
-		go func(node int, g *targetGroup) {
+		go func(i, node int, g *targetGroup) {
 			defer wg.Done()
-			if err := fn(node, g); err != nil {
-				errCh <- err
-			}
-		}(node, g)
+			errs[i] = fn(node, g)
+		}(i, node, g)
+		i++
 	}
 	wg.Wait()
-	close(errCh)
-	return <-errCh // nil when the channel is empty
+	return errors.Join(errs...)
 }
 
 // WriteAt writes p at offset off, without touching the descriptor
@@ -130,39 +133,126 @@ func (c *Client) writeSpans(of *openFile, p []byte, off int64) error {
 	return c.writeSpansLocked(of, p, off)
 }
 
-// writeSpansLocked sends the chunk writes and then the size update.
-// Caller holds of.mu.
+// writeSpansLocked sends the chunk writes and then the size update —
+// synchronously, or through the write-behind pipeline when the
+// descriptor has one. Caller holds of.mu.
 func (c *Client) writeSpansLocked(of *openFile, p []byte, off int64) error {
+	if of.pl != nil {
+		return c.enqueueSpansLocked(of, p, off)
+	}
 	groups := c.groupByTarget(of.path, off, int64(len(p)))
 	err := runGroups(groups, func(node int, g *targetGroup) error {
-		e := rpc.NewEnc(len(of.path) + 16 + 24*len(g.spans))
-		e.Str(of.path)
-		proto.EncodeSpans(e, g.spans)
-		// Concatenate this daemon's spans; the bulk region is what the
-		// daemon pulls (RDMA-read in the paper's deployment). The buffer
-		// is pooled — the transport is done with it once Call returns.
-		bulk := rpc.GetBuf(int(g.bytes))[:0]
-		for i, s := range g.spans {
-			bulk = append(bulk, p[g.bufOff[i]:g.bufOff[i]+s.Len]...)
-		}
-		d, err := c.call(node, proto.OpWriteChunks, e.Bytes(), bulk, rpc.BulkIn)
+		payload, bulk := encodeWrite(of.path, g, p)
+		d, err := c.call(node, proto.OpWriteChunks, payload, bulk, rpc.BulkIn)
 		rpc.PutBuf(bulk)
 		if err != nil {
 			return err
 		}
-		written := d.I64()
-		if err := d.Done(); err != nil {
-			return err
-		}
-		if written != g.bytes {
-			return io.ErrShortWrite
-		}
-		return nil
+		return checkWritten(d, g.bytes)
 	})
 	if err != nil {
 		return err
 	}
 	return c.growSizeLocked(of, off+int64(len(p)))
+}
+
+// encodeWrite builds one write RPC's payload and its concatenated bulk
+// region. The bulk buffer is pooled — the transport is done with it once
+// Call returns, so the caller releases it with rpc.PutBuf afterwards.
+// (The bulk region is what the daemon pulls; RDMA-read in the paper's
+// deployment.)
+func encodeWrite(path string, g *targetGroup, p []byte) (payload, bulk []byte) {
+	e := rpc.NewEnc(len(path) + 16 + 24*len(g.spans))
+	e.Str(path)
+	proto.EncodeSpans(e, g.spans)
+	bulk = rpc.GetBuf(int(g.bytes))[:0]
+	for i, s := range g.spans {
+		bulk = append(bulk, p[g.bufOff[i]:g.bufOff[i]+s.Len]...)
+	}
+	return e.Bytes(), bulk
+}
+
+// checkWritten validates a write RPC's reply against the bytes sent.
+func checkWritten(d *rpc.Dec, want int64) error {
+	written := d.I64()
+	if err := d.Done(); err != nil {
+		return err
+	}
+	if written != want {
+		return io.ErrShortWrite
+	}
+	return nil
+}
+
+// enqueueSpansLocked is the write-behind fast path: it stages one RPC per
+// target daemon into the descriptor's bounded in-flight window and
+// returns without waiting for any round trip. The caller's buffer is
+// copied into pooled bulk buffers before returning (io.Writer allows the
+// caller to reuse p immediately), which is the same copy the synchronous
+// path performs. A previously latched completion failure is surfaced
+// here — before accepting new writes — and cleared. Caller holds of.mu.
+func (c *Client) enqueueSpansLocked(of *openFile, p []byte, off int64) error {
+	if err := of.pl.takeErr(); err != nil {
+		return err
+	}
+	end := off + int64(len(p))
+	if of.pl.conflicts(off, end) {
+		// Rewriting a region that is still in flight: drain first, so
+		// the writes land in program order. Streaming and strided
+		// patterns never pay this; only overlapping rewrites serialize.
+		of.pl.drain()
+	}
+	groups := c.groupByTarget(of.path, off, int64(len(p)))
+	r := of.pl.addRange(off, end, len(groups))
+	for node, g := range groups {
+		payload, bulk := encodeWrite(of.path, g, p)
+		// Blocking on a window slot is the pipeline's backpressure; slots
+		// are released by completions, which never need of.mu, so holding
+		// the descriptor lock here cannot deadlock.
+		of.pl.slots <- struct{}{}
+		of.pl.wg.Add(1)
+		go func(node int, want int64, payload, bulk []byte) {
+			defer func() {
+				of.pl.releaseRange(r)
+				<-of.pl.slots
+				of.pl.wg.Done()
+			}()
+			d, err := c.call(node, proto.OpWriteChunks, payload, bulk, rpc.BulkIn)
+			rpc.PutBuf(bulk)
+			if err != nil {
+				of.pl.latch(err)
+				return
+			}
+			of.pl.latch(checkWritten(d, want))
+		}(node, g.bytes, payload, bulk)
+	}
+	// Record the size candidate locally; barriers flush it. The atomic
+	// raises this descriptor's own size floor immediately, so appends,
+	// SEEK_END and reads see the write's extent before any RPC lands.
+	if cand := off + int64(len(p)); cand > of.pendingSize.Load() {
+		of.pendingSize.Store(cand)
+	}
+	of.sizeDirty = true
+	return nil
+}
+
+// flushAsyncSizeLocked pushes the write-behind size candidate, if any.
+// Caller holds of.mu and has already drained the window, so the
+// candidate only ever describes data the daemons acknowledged (or data
+// whose failure is being reported alongside).
+func (c *Client) flushAsyncSizeLocked(of *openFile) error {
+	if !of.sizeDirty {
+		return nil
+	}
+	candidate := of.pendingSize.Load()
+	if err := c.sendGrow(of.path, candidate); err != nil {
+		return err
+	}
+	of.sizeDirty = false
+	// Cleared only after the server has the candidate, so concurrent
+	// readers never see a window where neither side knows the size.
+	of.pendingSize.Store(0)
+	return nil
 }
 
 // growSizeLocked records the new size candidate: either synchronously on
@@ -207,7 +297,10 @@ func (c *Client) sendGrow(path string, candidate int64) error {
 
 // ReadAt reads into p from offset off without touching the descriptor
 // position. It returns io.EOF when fewer than len(p) bytes lie below the
-// file's current size, after the fashion of io.ReaderAt.
+// file's current size, after the fashion of io.ReaderAt. Under
+// AsyncWrites the descriptor's in-flight window is drained first
+// (program-order read-after-write); concurrent ReadAts then proceed in
+// parallel, off the descriptor lock.
 func (c *Client) ReadAt(fd int, p []byte, off int64) (int, error) {
 	of, err := c.lookupFD(fd)
 	if err != nil {
@@ -218,6 +311,14 @@ func (c *Client) ReadAt(fd int, p []byte, off int64) (int, error) {
 	}
 	if off < 0 {
 		return 0, proto.ErrInval
+	}
+	if of.pl != nil {
+		// The lock serializes the drain against in-progress enqueues; the
+		// read RPCs themselves run outside it, so concurrent ReadAts still
+		// overlap on the wire.
+		of.mu.Lock()
+		of.pl.drain()
+		of.mu.Unlock()
 	}
 	return c.readSpans(of, p, off)
 }
@@ -233,58 +334,77 @@ func (c *Client) Read(fd int, p []byte) (int, error) {
 	}
 	of.mu.Lock()
 	defer of.mu.Unlock()
+	if of.pl != nil {
+		of.pl.drain()
+	}
 	n, err := c.readSpans(of, p, of.pos)
 	of.pos += int64(n)
 	return n, err
 }
 
-// readSpans clamps [off, off+len(p)) against the file size (one stat RPC
-// — the synchronous, cache-less protocol, raised by the descriptor's own
-// unflushed size candidate under the size-update cache) and gathers the
-// chunk spans from their daemons. Regions never written inside the size
-// read as zeros.
+// readSpans gathers the chunk spans of [off, off+len(p)) from their
+// daemons and clamps the result against the file size. The protocol is
+// stat-free: every OpReadChunks request asks the daemons to piggyback
+// their size view (proto.ReadWantSize), so no leading stat RPC is paid —
+// the EOF clamp comes back with the data. Only the path's metadata owner
+// holds the record; when none of the read's chunks live there, a
+// zero-span size probe is added to the fan-out (still one round trip,
+// all in parallel). The server view is raised by the descriptor's own
+// unflushed size candidate, exactly as the stat used to be. Regions
+// never written inside the size read as zeros.
 func (c *Client) readSpans(of *openFile, p []byte, off int64) (int, error) {
 	if len(p) == 0 {
 		return 0, nil
 	}
-	md, err := c.statPath(of.path)
-	if err != nil {
-		return 0, err
+	groups := c.groupByTarget(of.path, off, int64(len(p)))
+	metaNode := c.dist.MetaTarget(of.path)
+	if _, ok := groups[metaNode]; !ok {
+		groups[metaNode] = &targetGroup{} // pure size probe, no bulk
 	}
-	size := of.sizeFloor(md.Size)
-	if off >= size {
-		return 0, io.EOF
-	}
-	n := int64(len(p))
-	if off+n > size {
-		n = size - off
-	}
-	// No up-front zero-fill of p: the spans below cover [off, off+n)
-	// exactly, and each group's cleared bulk buffer is copied over its
-	// full span lengths, so every byte of p[:n] is overwritten — holes
-	// arrive as zeros from the (cleared) bulk region. The old code
-	// zeroed the window byte-at-a-time and then overwrote it anyway.
-	groups := c.groupByTarget(of.path, off, n)
-	err = runGroups(groups, func(node int, g *targetGroup) error {
-		e := rpc.NewEnc(len(of.path) + 16 + 24*len(g.spans))
+	// Written only by the metaNode group's closure; runGroups' WaitGroup
+	// orders them before the reads below.
+	var sizeState uint8
+	var sizeView int64
+	err := runGroups(groups, func(node int, g *targetGroup) error {
+		e := rpc.NewEnc(len(of.path) + 17 + 24*len(g.spans))
 		e.Str(of.path)
 		proto.EncodeSpans(e, g.spans)
-		bulk := rpc.GetBuf(int(g.bytes))
-		defer rpc.PutBuf(bulk)
-		clear(bulk) // pooled: a short server push must still read as zeros
-		d, err := c.call(node, proto.OpReadChunks, e.Bytes(), bulk, rpc.BulkOut)
+		e.U8(proto.ReadWantSize)
+		var bulk []byte
+		dir := rpc.BulkNone
+		if g.bytes > 0 {
+			bulk = rpc.GetBuf(int(g.bytes))
+			defer rpc.PutBuf(bulk)
+			clear(bulk) // pooled: a short server push must still read as zeros
+			dir = rpc.BulkOut
+		}
+		d, err := c.call(node, proto.OpReadChunks, e.Bytes(), bulk, dir)
 		if err != nil {
 			return err
 		}
 		cnt := d.U32()
 		if int(cnt) != len(g.spans) {
-			return proto.ErrInval
+			return fmt.Errorf("gekkofs: read reply carries %d span counts, want %d: %w",
+				cnt, len(g.spans), proto.ErrInval)
 		}
 		for i := uint32(0); i < cnt; i++ {
-			_ = d.I64() // per-span present-byte counts; holes are zeros
+			// Per-span present-byte counts; holes are zeros. A count
+			// outside [0, span.Len] means a hostile or buggy daemon is
+			// claiming bytes it cannot have sent — refuse the reply
+			// rather than trusting the bulk region past what was pushed.
+			got := d.I64()
+			if s := g.spans[i]; got < 0 || got > s.Len {
+				return fmt.Errorf("gekkofs: read reply claims %d present bytes for a %d-byte span: %w",
+					got, s.Len, proto.ErrInval)
+			}
 		}
+		state := d.U8()
+		size := d.I64()
 		if err := d.Done(); err != nil {
 			return err
+		}
+		if node == metaNode {
+			sizeState, sizeView = state, size
 		}
 		var boff int64
 		for i, s := range g.spans {
@@ -295,6 +415,24 @@ func (c *Client) readSpans(of *openFile, p []byte, off int64) (int, error) {
 	})
 	if err != nil {
 		return 0, err
+	}
+	switch sizeState {
+	case proto.ReadSizeFile:
+	case proto.ReadSizeNone:
+		// The metadata owner has no record: the file was removed. The
+		// descriptor's own unflushed writes cannot resurrect it — mirror
+		// what the leading stat used to report.
+		return 0, proto.ErrNotExist
+	default:
+		return 0, fmt.Errorf("gekkofs: read reply size state %d: %w", sizeState, proto.ErrInval)
+	}
+	size := of.sizeFloor(sizeView)
+	if off >= size {
+		return 0, io.EOF
+	}
+	n := int64(len(p))
+	if off+n > size {
+		n = size - off
 	}
 	if n < int64(len(p)) {
 		return int(n), io.EOF

@@ -18,7 +18,6 @@ import (
 	"repro/internal/daemon"
 	"repro/internal/distributor"
 	"repro/internal/meta"
-	"repro/internal/proto"
 	"repro/internal/rpc"
 	"repro/internal/transport"
 	"repro/internal/vfs"
@@ -41,6 +40,13 @@ type Config struct {
 	// SizeCacheOps configures clients' size-update caching (paper
 	// §IV-B); zero keeps strict synchronous updates.
 	SizeCacheOps int
+	// AsyncWrites enables clients' write-behind pipeline: writes stage
+	// bounded in-flight chunk RPCs and return immediately; Fsync/Close
+	// are the barriers (see internal/client/pipeline.go).
+	AsyncWrites bool
+	// WriteWindow bounds each descriptor's in-flight chunk-write RPCs
+	// under AsyncWrites; zero selects the client default.
+	WriteWindow int
 	// Conns is the number of transport connections each client stripes
 	// its per-daemon traffic over (see transport.Pool). Zero or one keeps
 	// a single connection per daemon. In-process deployments gain little
@@ -121,26 +127,20 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		c.net.Register(i, d.Server())
 	}
 
-	// Health check: every daemon must answer a ping before the cluster
-	// is usable (the registration step of a real deployment).
-	for i := range daemons {
-		conn, err := c.net.Dial(i)
-		if err != nil {
-			c.Close()
-			return nil, err
-		}
-		if _, err := conn.Call(proto.OpPing, nil, nil, rpc.BulkNone); err != nil {
-			c.Close()
-			return nil, fmt.Errorf("core: daemon %d failed ping: %w", i, err)
-		}
-	}
-
-	// The namespace root must exist before clients mount.
+	// Health check: every daemon must answer a ping — and speak this
+	// client generation's protocol — before the cluster is usable (the
+	// registration step of a real deployment).
 	boot, err := c.newClient()
 	if err != nil {
 		c.Close()
 		return nil, err
 	}
+	if err := boot.VerifyProtocol(); err != nil {
+		c.Close()
+		return nil, fmt.Errorf("core: health check: %w", err)
+	}
+
+	// The namespace root must exist before clients mount.
 	if err := boot.EnsureRoot(); err != nil {
 		c.Close()
 		return nil, err
@@ -198,6 +198,8 @@ func (c *Cluster) newClient() (*client.Client, error) {
 		Dist:         dist,
 		ChunkSize:    c.cfg.ChunkSize,
 		SizeCacheOps: c.cfg.SizeCacheOps,
+		AsyncWrites:  c.cfg.AsyncWrites,
+		WriteWindow:  c.cfg.WriteWindow,
 	})
 	if err != nil {
 		return nil, err

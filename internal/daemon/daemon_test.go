@@ -64,7 +64,7 @@ func encReadDir(dir, after string, limit uint32) []byte {
 	return e.Bytes()
 }
 
-func TestPingReturnsID(t *testing.T) {
+func TestPingReturnsIDAndVersion(t *testing.T) {
 	d := newTestDaemon(t)
 	dec, err := call(t, d, proto.OpPing, nil, nil)
 	if err != nil {
@@ -72,6 +72,100 @@ func TestPingReturnsID(t *testing.T) {
 	}
 	if id := dec.U32(); id != 3 {
 		t.Fatalf("ping id = %d", id)
+	}
+	if v := dec.U16(); v != proto.ProtocolVersion {
+		t.Fatalf("ping version = %d, want %d", v, proto.ProtocolVersion)
+	}
+	if err := dec.Done(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// encRead builds an OpReadChunks request; withFlags selects the
+// version-3 shape (trailing flags byte).
+func encRead(path string, spans []proto.ChunkSpan, flags uint8, withFlags bool) []byte {
+	e := rpc.NewEnc(len(path) + 17 + 24*len(spans))
+	e.Str(path)
+	proto.EncodeSpans(e, spans)
+	if withFlags {
+		e.U8(flags)
+	}
+	return e.Bytes()
+}
+
+// TestReadChunksSizeView covers the stat-free read reply extension: the
+// size view is piggybacked only when requested, reports the metadata
+// record when present, answers ReadSizeNone for missing paths, and
+// refuses directories.
+func TestReadChunksSizeView(t *testing.T) {
+	d := newTestDaemon(t)
+	if _, err := call(t, d, proto.OpCreate, encCreate("/f", meta.ModeRegular), nil); err != nil {
+		t.Fatal(err)
+	}
+	// Give /f some bytes and a size.
+	span := []proto.ChunkSpan{{ID: 0, Off: 0, Len: 5}}
+	if _, err := call(t, d, proto.OpWriteChunks, encRead("/f", span, 0, false), []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	e := rpc.NewEnc(32)
+	e.Str("/f").I64(5).U8(0).I64(1)
+	if _, err := call(t, d, proto.OpUpdateSize, e.Bytes(), nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// Old-shape request (no flags byte): the reply must carry no
+	// extension — the exact frame a pre-version-3 client expects.
+	dec, err := call(t, d, proto.OpReadChunks, encRead("/f", span, 0, false), make([]byte, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cnt := dec.U32(); cnt != 1 {
+		t.Fatalf("count = %d", cnt)
+	}
+	_ = dec.I64()
+	if err := dec.Done(); err != nil {
+		t.Fatalf("old-shape reply carries trailing bytes: %v", err)
+	}
+
+	// Versioned request: state + size follow the counts.
+	dec, err = call(t, d, proto.OpReadChunks, encRead("/f", span, proto.ReadWantSize, true), make([]byte, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = dec.U32()
+	_ = dec.I64()
+	if state := dec.U8(); state != proto.ReadSizeFile {
+		t.Fatalf("state = %d, want ReadSizeFile", state)
+	}
+	if size := dec.I64(); size != 5 {
+		t.Fatalf("size view = %d, want 5", size)
+	}
+	if err := dec.Done(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Zero-span size probe on a missing path: no bulk region at all.
+	dec, err = call(t, d, proto.OpReadChunks, encRead("/missing", nil, proto.ReadWantSize, true), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cnt := dec.U32(); cnt != 0 {
+		t.Fatalf("probe count = %d", cnt)
+	}
+	if state := dec.U8(); state != proto.ReadSizeNone {
+		t.Fatalf("probe state = %d, want ReadSizeNone", state)
+	}
+	_ = dec.I64()
+	if err := dec.Done(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A directory refuses size-view reads outright.
+	if _, err := call(t, d, proto.OpCreate, encCreate("/dir", meta.ModeDir), nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := call(t, d, proto.OpReadChunks, encRead("/dir", nil, proto.ReadWantSize, true), nil); !errors.Is(err, proto.ErrIsDir) {
+		t.Fatalf("size-view read of a directory = %v, want ErrIsDir", err)
 	}
 }
 

@@ -43,9 +43,15 @@ func (d *Daemon) register() {
 	d.srv.Register(proto.OpBatchMeta, d.handleBatchMeta)
 }
 
+// handlePing reports the daemon's ID and its protocol version. The
+// version trailer is what lets a client refuse a mixed-generation
+// deployment at mount time instead of failing obscurely mid-I/O
+// (client.VerifyProtocol); pre-version clients simply never decoded past
+// the ID.
 func (d *Daemon) handlePing([]byte, rpc.Bulk) ([]byte, error) {
-	e := okResp(4)
+	e := okResp(6)
 	e.U32(uint32(d.cfg.ID))
+	e.U16(proto.ProtocolVersion)
 	return e.Bytes(), nil
 }
 
@@ -286,10 +292,21 @@ func (d *Daemon) handleWriteChunks(req []byte, bulk rpc.Bulk) ([]byte, error) {
 	return e.Bytes(), nil
 }
 
+// handleReadChunks serves chunk spans and, when the request carries the
+// ReadWantSize flag, piggybacks this daemon's size view of the path onto
+// the reply — the stat-free read protocol. The flags field is a trailing
+// u8 absent from pre-version-3 requests, so old clients keep getting the
+// old reply shape. A zero-span request with the flag set is a pure size
+// probe (the client sends one when none of a read's chunks live on the
+// path's metadata owner) and moves no bulk bytes.
 func (d *Daemon) handleReadChunks(req []byte, bulk rpc.Bulk) ([]byte, error) {
 	dec := rpc.NewDec(req)
 	path := dec.Str()
 	spans := proto.DecodeSpans(dec)
+	var flags uint8
+	if dec.Err() == nil && dec.Remaining() > 0 {
+		flags = dec.U8()
+	}
 	if err := dec.Done(); err != nil {
 		return nil, err
 	}
@@ -297,36 +314,73 @@ func (d *Daemon) handleReadChunks(req []byte, bulk rpc.Bulk) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	if bulk == nil || int64(bulk.Len()) < total {
+	if total > 0 && (bulk == nil || int64(bulk.Len()) < total) {
 		return nil, fmt.Errorf("read %s: bulk region %d short of %d", path, bulkLen(bulk), total)
 	}
-	data := rpc.GetBuf(int(total))
-	defer rpc.PutBuf(data)
-	counts := make([]int64, len(spans))
-	err = forEachSpan(spans, func(i int, s proto.ChunkSpan, off int64) error {
-		dst := data[off : off+s.Len]
-		n, err := d.chunks.ReadChunk(path, s.ID, s.Off, dst)
-		if err != nil {
-			return err
+	sizeState := proto.ReadSizeNone
+	var sizeView int64
+	if flags&proto.ReadWantSize != 0 {
+		if cur, err := d.db.Get([]byte(path)); err == nil {
+			m, merr := meta.DecodeMetadata(cur)
+			if merr != nil {
+				// A present-but-corrupt record must surface as an error,
+				// not as ReadSizeNone — the client would mistake the file
+				// for removed and the application could overwrite it.
+				return nil, fmt.Errorf("read %s: corrupt metadata record: %w", path, merr)
+			}
+			if m.IsDir() {
+				return errResp(proto.ErrnoIsDir), nil
+			}
+			sizeState = proto.ReadSizeFile
+			sizeView = m.Size
+		} else if !errors.Is(err, kvstore.ErrNotFound) {
+			return nil, fmt.Errorf("read %s: size view: %w", path, err)
 		}
-		// The staging buffer is pooled (dirty); bytes past what the chunk
-		// file holds are holes and must read as zeros.
-		clear(dst[n:])
-		counts[i] = int64(n)
-		return nil
-	})
-	if err != nil {
-		return nil, err
 	}
-	if err := bulk.Push(data); err != nil {
-		return nil, err
+	counts := make([]int64, len(spans))
+	if total > 0 {
+		data := rpc.GetBuf(int(total))
+		defer rpc.PutBuf(data)
+		err = forEachSpan(spans, func(i int, s proto.ChunkSpan, off int64) error {
+			dst := data[off : off+s.Len]
+			n, err := d.chunks.ReadChunk(path, s.ID, s.Off, dst)
+			if err != nil {
+				return err
+			}
+			// The staging buffer is pooled (dirty); bytes past what the chunk
+			// file holds are holes and must read as zeros.
+			clear(dst[n:])
+			counts[i] = int64(n)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		// Push only up to the last present byte: the client cleared its
+		// bulk region before exposing it, so the untransferred tail reads
+		// as zeros there. Reads past EOF and hole-heavy windows move
+		// (almost) nothing over the wire instead of a window of zeros.
+		var high, spanOff int64
+		for i, s := range spans {
+			if n := counts[i]; n > 0 && spanOff+n > high {
+				high = spanOff + n
+			}
+			spanOff += s.Len
+		}
+		if err := bulk.Push(data[:high]); err != nil {
+			return nil, err
+		}
 	}
 	d.readOps.Add(1)
 	d.readBytes.Add(uint64(total))
-	e := okResp(4 + 8*len(counts))
+	e := okResp(4 + 8*len(counts) + 9)
 	e.U32(uint32(len(counts)))
 	for _, c := range counts {
 		e.I64(c)
+	}
+	if flags&proto.ReadWantSize != 0 {
+		e.U8(sizeState)
+		e.I64(sizeView)
 	}
 	return e.Bytes(), nil
 }

@@ -12,6 +12,17 @@ import (
 	"repro/internal/rpc"
 )
 
+// ProtocolVersion is the client↔daemon wire protocol generation. Daemons
+// report it in every OpPing reply (appended after the daemon ID) and
+// clients verify it at mount time (client.VerifyProtocol): the frame
+// formats carry no per-message version tag, so a deployment must run
+// clients and daemons of the same generation. Version 3 introduced the
+// OpReadChunks reply extension (piggybacked size view, ReadWantSize) and
+// the versioned ping itself; daemons remain compatible with older
+// clients — the reply extension is sent only when a request asks for it —
+// but a version-3 client refuses daemons that cannot answer its reads.
+const ProtocolVersion uint16 = 3
+
 // RPC operations. Each corresponds to one registered Mercury RPC in the
 // released GekkoFS.
 const (
@@ -188,6 +199,29 @@ func SpanBytes(spans []ChunkSpan) int64 {
 	}
 	return n
 }
+
+// ReadWantSize is the OpReadChunks request flag bit (a trailing u8 flags
+// field after the span vector; absent means 0) asking the daemon to
+// piggyback its current size view of the path onto the reply: a
+// [u8 state][i64 size] pair after the per-span present-byte counts. It is
+// what makes reads stat-free — the client learns the EOF clamp from the
+// chunk RPC itself instead of a leading OpStat round trip. Only the reply
+// of the path's metadata owner carries an authoritative state; other
+// daemons answer ReadSizeNone. The reply extension is emitted only when
+// the request sets this bit, so pre-version-3 clients keep receiving the
+// exact reply shape they expect.
+const ReadWantSize uint8 = 1 << 0
+
+// OpReadChunks size-view states (the u8 preceding the piggybacked size).
+// A directory record produces no state: the daemon refuses the whole
+// call with ErrnoIsDir instead.
+const (
+	// ReadSizeNone: this daemon holds no metadata record for the path.
+	// From the path's metadata owner this means the file does not exist.
+	ReadSizeNone uint8 = 0
+	// ReadSizeFile: a regular-file record exists; its size follows.
+	ReadSizeFile uint8 = 1
+)
 
 // RemoveFileOnly is the OpRemoveMeta flag bit asking the daemon to refuse
 // directories with ErrnoIsDir instead of deleting them. It lets a client

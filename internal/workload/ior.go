@@ -134,7 +134,14 @@ func RunIOR(factory ClientFactory, cfg IORConfig) (IORResult, error) {
 					errs[w] = err
 					return
 				}
-				defer c.Close(fd)
+				// Fsync and Close are the barriers that complete the phase:
+				// under the write-behind pipeline in-flight chunk RPCs drain
+				// and latched write errors surface here, so both results
+				// count — a phase that dropped them would report bandwidth
+				// for data that never landed.
+				defer func() {
+					errs[w] = errors.Join(errs[w], c.Fsync(fd), c.Close(fd))
+				}()
 				buf := make([]byte, cfg.TransferSize)
 				want := make([]byte, cfg.TransferSize)
 				for _, i := range order(w) {
@@ -159,7 +166,6 @@ func RunIOR(factory ClientFactory, cfg IORConfig) (IORResult, error) {
 						}
 					}
 				}
-				errs[w] = c.Fsync(fd)
 			}(w)
 		}
 		wg.Wait()
