@@ -13,7 +13,10 @@ package repro
 
 import (
 	"fmt"
+	"math/rand"
 	"net"
+	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -26,6 +29,7 @@ import (
 	"repro/internal/lustre"
 	"repro/internal/rpc"
 	"repro/internal/simcluster"
+	"repro/internal/staging"
 	"repro/internal/transport"
 	"repro/internal/vfs"
 )
@@ -491,6 +495,169 @@ func BenchmarkAsyncWriteStream(b *testing.B) {
 			}
 		})
 	}
+}
+
+// stageSourceLarge writes one largeBytes random file under a fresh dir.
+func stageSourceLarge(b *testing.B, largeBytes int64) string {
+	b.Helper()
+	dir := b.TempDir()
+	rng := rand.New(rand.NewSource(1))
+	buf := make([]byte, 1<<20)
+	f, err := os.Create(filepath.Join(dir, "large.dat"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for off := int64(0); off < largeBytes; off += int64(len(buf)) {
+		rng.Read(buf)
+		if _, err := f.Write(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		b.Fatal(err)
+	}
+	return dir
+}
+
+// stageSourceSmall writes n small patterned files under a fresh dir.
+func stageSourceSmall(b *testing.B, n, size int) string {
+	b.Helper()
+	dir := b.TempDir()
+	buf := make([]byte, size)
+	for i := range buf {
+		buf[i] = byte(i%255) + 1
+	}
+	for i := 0; i < n; i++ {
+		if err := os.WriteFile(filepath.Join(dir, fmt.Sprintf("s%05d.dat", i)), buf, 0o666); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// BenchmarkStageIn measures the staging engine's two regimes against
+// their data-path baselines:
+//
+//   - large: one 16 MiB file over real TCP sockets into a 4-daemon
+//     cluster with the write-behind pipeline (window 4, 64 KiB chunks) —
+//     the same operating point as BenchmarkAsyncWriteStream/window-4,
+//     which is the upper bound a tree copy can approach.
+//   - smallfiles: 1000 × 1 KiB files into a durable on-disk cluster
+//     (SyncWAL) — the operating point of BenchmarkMetadataCreates. Data
+//     -carrying files additionally pay one chunk-file creation on the
+//     node-local FS each, which pure metadata creates never do; the
+//     empty variant isolates the engine's namespace ingest for a direct
+//     comparison against BenchmarkMetadataCreates/batched.
+func BenchmarkStageIn(b *testing.B) {
+	b.Run("large", func(b *testing.B) {
+		const largeBytes = 16 << 20
+		src := stageSourceLarge(b, largeBytes)
+		c := tcpCluster(b, 4, 4, client.Config{
+			ChunkSize: 64 << 10, AsyncWrites: true, WriteWindow: 4,
+		})
+		b.SetBytes(largeBytes)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// Restaging the same tree overwrites in place (O_TRUNC),
+			// bounding daemon memory across iterations. 4 MiB segments
+			// put all four workers on the one file.
+			rep, err := staging.StageIn(c, src, "/in", staging.Options{Workers: 4, SegmentBytes: 4 << 20})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := rep.Err(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	smallIngest := func(b *testing.B, size int) {
+		const files = 1000
+		src := stageSourceSmall(b, files, size)
+		_, fs := realCluster(b, gekkofs.WithDataDir(b.TempDir()), gekkofs.WithSyncWAL())
+		paths := make([]string, files)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rep, err := fs.StageIn(src, "/in", gekkofs.StageOptions{Workers: 8})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := rep.Err(); err != nil {
+				b.Fatal(err)
+			}
+			if rep.Files != files {
+				b.Fatalf("moved %d files, want %d", rep.Files, files)
+			}
+			// Remove the tree between iterations (untimed) so every
+			// iteration measures fresh ingest, not an ever-growing
+			// namespace.
+			b.StopTimer()
+			for j := range paths {
+				paths[j] = fmt.Sprintf("/in/s%05d.dat", j)
+			}
+			for _, err := range fs.RemoveMany(paths) {
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StartTimer()
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(b.N*files)/b.Elapsed().Seconds(), "creates/sec")
+	}
+	b.Run("smallfiles", func(b *testing.B) { smallIngest(b, 1<<10) })
+	b.Run("empty", func(b *testing.B) { smallIngest(b, 0) })
+}
+
+// BenchmarkStageOut is the reverse direction: the cluster tree drains to
+// the host, reading through the stat-free read path and recreating
+// sparseness.
+func BenchmarkStageOut(b *testing.B) {
+	b.Run("large", func(b *testing.B) {
+		const largeBytes = 16 << 20
+		src := stageSourceLarge(b, largeBytes)
+		out := b.TempDir()
+		c := tcpCluster(b, 4, 4, client.Config{
+			ChunkSize: 64 << 10, AsyncWrites: true, WriteWindow: 4,
+		})
+		if rep, err := staging.StageIn(c, src, "/data", staging.Options{Workers: 4}); err != nil || rep.Err() != nil {
+			b.Fatal(err, rep.Err())
+		}
+		b.SetBytes(largeBytes)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rep, err := staging.StageOut(c, "/data", out, staging.Options{Workers: 4, SegmentBytes: 4 << 20})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := rep.Err(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("smallfiles", func(b *testing.B) {
+		const files = 1000
+		src := stageSourceSmall(b, files, 1<<10)
+		out := b.TempDir()
+		_, fs := realCluster(b)
+		if rep, err := fs.StageIn(src, "/data", gekkofs.StageOptions{Workers: 8}); err != nil || rep.Err() != nil {
+			b.Fatal(err, rep.Err())
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rep, err := fs.StageOut("/data", out, gekkofs.StageOptions{Workers: 8})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := rep.Err(); err != nil {
+				b.Fatal(err)
+			}
+			if rep.Files != files {
+				b.Fatalf("moved %d files, want %d", rep.Files, files)
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(b.N*files)/b.Elapsed().Seconds(), "files/sec")
+	})
 }
 
 // BenchmarkRealSharedFileWrite measures the shared-file write path with

@@ -6,13 +6,18 @@
 //	gkfs-bench -mode mdtest -nodes 4 -workers 16 -files 2000
 //	gkfs-bench -mode ior -nodes 4 -workers 8 -block 64MiB -transfer 1MiB
 //	gkfs-bench -mode ior -daemons host1:7777,host2:7777 -workers 16 ...
+//	gkfs-bench -mode stage -nodes 4 -stage-large 256MiB -files 2000
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
+	iofs "io/fs"
 	"log"
+	"math/rand"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"time"
@@ -21,6 +26,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/distributor"
 	"repro/internal/rpc"
+	"repro/internal/staging"
 	"repro/internal/transport"
 	"repro/internal/workload"
 )
@@ -45,7 +51,7 @@ func parseSize(s string) (int64, error) {
 }
 
 func main() {
-	mode := flag.String("mode", "mdtest", "workload: mdtest | ior")
+	mode := flag.String("mode", "mdtest", "workload: mdtest | ior | stage")
 	daemons := flag.String("daemons", "", "existing TCP deployment (comma-separated); empty = in-process cluster")
 	nodes := flag.Int("nodes", 4, "in-process cluster node count")
 	chunkFlag := flag.String("chunk", "512KiB", "chunk size")
@@ -63,7 +69,10 @@ func main() {
 	batch := flag.Int("batch", 0, "mdtest: ops per batched metadata RPC (0/1 = per-op protocol)")
 	dataDir := flag.String("datadir", "", "in-process cluster: persist daemon state under this directory (default: volatile in-memory)")
 	syncWAL := flag.Bool("syncwal", false, "in-process cluster: fsync metadata WAL before acknowledging (the paper's synchronous operating point)")
-	verify := flag.Bool("verify", true, "ior: verify the read phase")
+	verify := flag.Bool("verify", true, "ior: verify the read phase; stage: byte-compare the round-tripped tree")
+	stageSrc := flag.String("stage-src", "", "stage: existing source tree (empty = generate a mixed tree)")
+	stageLarge := flag.String("stage-large", "64MiB", "stage: generated large-file size")
+	stageSmall := flag.String("stage-small", "4KiB", "stage: generated small-file size (count = -files)")
 	flag.Parse()
 
 	chunk, err := parseSize(*chunkFlag)
@@ -160,8 +169,184 @@ func main() {
 			*workers, *blockFlag, *transferFlag, order, layout)
 		fmt.Printf("  write: %10.1f MiB/s\n", res.WriteMiBps)
 		fmt.Printf("  read:  %10.1f MiB/s\n", res.ReadMiBps)
+	case "stage":
+		large, err := parseSize(*stageLarge)
+		if err != nil {
+			log.Fatal(err)
+		}
+		small, err := parseSize(*stageSmall)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := runStage(factory, stageConfig{
+			Src: *stageSrc, LargeBytes: large, SmallBytes: small,
+			SmallFiles: *files, Workers: *workers, Verify: *verify,
+		}); err != nil {
+			log.Fatalf("gkfs-bench: %v", err)
+		}
 	default:
 		fmt.Fprintf(os.Stderr, "gkfs-bench: unknown mode %q\n", *mode)
 		os.Exit(2)
 	}
+}
+
+// stageConfig shapes the staging workload: the stage-in/compute/stage-out
+// loop that dominates temporary-storage deployments (DisTRaC), minus the
+// compute.
+type stageConfig struct {
+	Src        string // existing tree; empty generates one
+	LargeBytes int64
+	SmallBytes int64
+	SmallFiles int
+	Workers    int
+	Verify     bool
+}
+
+// runStage generates (or takes) a host tree, stages it into the cluster,
+// stages it back out, and reports both directions' throughput. With
+// Verify the round-tripped tree is byte-compared against the source.
+func runStage(factory workload.ClientFactory, cfg stageConfig) error {
+	c, err := factory()
+	if err != nil {
+		return err
+	}
+	src := cfg.Src
+	if src == "" {
+		dir, err := os.MkdirTemp("", "gkfs-stage-src-")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		src = dir
+		if _, _, err := generateStageTree(dir, cfg.LargeBytes, cfg.SmallBytes, cfg.SmallFiles); err != nil {
+			return err
+		}
+		fmt.Printf("stage: generated tree: 1 large (%d bytes) + %d small (%d bytes each) + 1 sparse\n",
+			cfg.LargeBytes, cfg.SmallFiles, cfg.SmallBytes)
+	}
+	out, err := os.MkdirTemp("", "gkfs-stage-out-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(out)
+
+	opts := staging.Options{Workers: cfg.Workers}
+	begin := time.Now()
+	rep, err := staging.StageIn(c, src, "/stage-bench", opts)
+	if err != nil {
+		return err
+	}
+	if err := rep.Err(); err != nil {
+		return err
+	}
+	din := time.Since(begin)
+	fmt.Printf("stage-in:  %s\n", rep.Summary())
+	fmt.Printf("           %10.1f MiB/s, %10.0f files/s\n",
+		float64(rep.Bytes)/(1<<20)/din.Seconds(), float64(rep.Files)/din.Seconds())
+
+	begin = time.Now()
+	rep, err = staging.StageOut(c, "/stage-bench", out, opts)
+	if err != nil {
+		return err
+	}
+	if err := rep.Err(); err != nil {
+		return err
+	}
+	dout := time.Since(begin)
+	fmt.Printf("stage-out: %s\n", rep.Summary())
+	fmt.Printf("           %10.1f MiB/s, %10.0f files/s\n",
+		float64(rep.Bytes)/(1<<20)/dout.Seconds(), float64(rep.Files)/dout.Seconds())
+
+	if cfg.Verify {
+		files, bytes, err := compareTrees(src, out)
+		if err != nil {
+			return fmt.Errorf("round-trip verify: %w", err)
+		}
+		fmt.Printf("verify: round-tripped tree is byte-identical (%d files, %d bytes)\n",
+			files, bytes)
+	}
+	return nil
+}
+
+// generateStageTree builds the mixed tree the staging engine must be
+// good at: one large streaming file, many small files, one sparse file
+// with a leading hole.
+func generateStageTree(dir string, largeBytes, smallBytes int64, smallFiles int) (int64, int, error) {
+	rng := rand.New(rand.NewSource(42))
+	var total int64
+	files := 0
+	large := make([]byte, 1<<20)
+	f, err := os.Create(filepath.Join(dir, "large.dat"))
+	if err != nil {
+		return 0, 0, err
+	}
+	for off := int64(0); off < largeBytes; off += int64(len(large)) {
+		rng.Read(large)
+		n := min(int64(len(large)), largeBytes-off)
+		if _, err := f.Write(large[:n]); err != nil {
+			return 0, 0, err
+		}
+	}
+	if err := f.Close(); err != nil {
+		return 0, 0, err
+	}
+	total += largeBytes
+	files++
+
+	if err := os.MkdirAll(filepath.Join(dir, "small"), 0o777); err != nil {
+		return 0, 0, err
+	}
+	buf := make([]byte, smallBytes)
+	for i := 0; i < smallFiles; i++ {
+		rng.Read(buf)
+		if err := os.WriteFile(filepath.Join(dir, "small", fmt.Sprintf("s%06d.dat", i)), buf, 0o666); err != nil {
+			return 0, 0, err
+		}
+		total += smallBytes
+		files++
+	}
+
+	sparse, err := os.Create(filepath.Join(dir, "sparse.dat"))
+	if err != nil {
+		return 0, 0, err
+	}
+	tail := []byte("tail-data-after-a-large-hole")
+	if _, err := sparse.WriteAt(tail, largeBytes/2); err != nil {
+		return 0, 0, err
+	}
+	if err := sparse.Close(); err != nil {
+		return 0, 0, err
+	}
+	total += largeBytes/2 + int64(len(tail))
+	files++
+	return total, files, nil
+}
+
+// compareTrees byte-compares every regular file under a against its
+// counterpart under b, reporting how many files and bytes it checked.
+func compareTrees(a, b string) (files int, total int64, err error) {
+	err = filepath.WalkDir(a, func(p string, d iofs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		rel, err := filepath.Rel(a, p)
+		if err != nil {
+			return err
+		}
+		want, err := os.ReadFile(p)
+		if err != nil {
+			return err
+		}
+		got, err := os.ReadFile(filepath.Join(b, rel))
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(want, got) {
+			return fmt.Errorf("%s differs after round trip", rel)
+		}
+		files++
+		total += int64(len(want))
+		return nil
+	})
+	return files, total, err
 }

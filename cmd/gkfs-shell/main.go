@@ -8,6 +8,9 @@
 //	gkfs-shell -daemons host1:7777,host2:7777 stat /results/run1.dat
 //	gkfs-shell -daemons host1:7777,host2:7777 get /results/run1.dat out.dat
 //	gkfs-shell -daemons host1:7777,host2:7777 rm /results/run1.dat
+//	gkfs-shell -daemons ... -manifest m.txt stage-in ./inputs /job
+//	gkfs-shell -daemons ... -manifest m.txt -incremental stage-out /job ./results
+//	gkfs-shell -daemons host1:7777,host2:7777 stats
 //
 // The daemon list must be identical (same order) for every client of the
 // deployment: responsibilities are resolved by hashing over it.
@@ -24,7 +27,9 @@ import (
 	"repro/internal/client"
 	"repro/internal/distributor"
 	"repro/internal/meta"
+	"repro/internal/proto"
 	"repro/internal/rpc"
+	"repro/internal/staging"
 	"repro/internal/transport"
 )
 
@@ -36,6 +41,9 @@ func main() {
 	async := flag.Bool("async", false, "write-behind pipeline for put: writes return immediately, close is the barrier")
 	window := flag.Int("window", 0, "async: in-flight chunk-RPC window per descriptor (0 = default)")
 	distName := flag.String("distributor", "simplehash", "placement pattern: simplehash | guided-first-chunk (must match the deployment's other clients)")
+	stageWorkers := flag.Int("stage-workers", 0, "stage-in/stage-out: parallel file transfers (0 = default)")
+	manifest := flag.String("manifest", "", "stage-in/stage-out: staging manifest file on the local side")
+	incremental := flag.Bool("incremental", false, "stage-out: skip files unmodified since the manifest was recorded")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
@@ -182,6 +190,53 @@ func main() {
 			}
 		}
 		c.Close(fd)
+	case "stage-in", "stage-out":
+		need(rest, 2)
+		opts := staging.Options{
+			Workers:     *stageWorkers,
+			Manifest:    *manifest,
+			Incremental: *incremental,
+		}
+		var rep *staging.Report
+		var err error
+		if cmd == "stage-in" {
+			rep, err = staging.StageIn(c, rest[0], rest[1], opts)
+		} else {
+			rep, err = staging.StageOut(c, rest[0], rest[1], opts)
+		}
+		if rep != nil {
+			fmt.Printf("%s %s -> %s: %s\n", cmd, rest[0], rest[1], rep.Summary())
+			for _, note := range rep.Notes {
+				fmt.Fprintf(os.Stderr, "note: %s\n", note)
+			}
+		}
+		if err != nil {
+			fatal("%s: %v", cmd, err)
+		}
+		if err := rep.Err(); err != nil {
+			fatal("%s: per-file failures:\n%v", cmd, err)
+		}
+	case "stats":
+		sts, err := c.DaemonStats()
+		if err != nil {
+			fatal("stats: %v", err)
+		}
+		var total proto.DaemonStats
+		fmt.Printf("%-6s %10s %10s %10s %10s %10s %10s %12s %12s %10s %10s %10s\n",
+			"daemon", "creates", "stats", "removes", "sizeupd", "writes", "reads",
+			"bytes-in", "bytes-out", "readdirs", "batchrpcs", "batchops")
+		for i, st := range sts {
+			total.Add(st)
+			fmt.Printf("%-6d %10d %10d %10d %10d %10d %10d %12d %12d %10d %10d %10d\n",
+				i, st.Creates, st.StatOps, st.Removes, st.SizeUpdates, st.WriteOps, st.ReadOps,
+				st.WriteBytes, st.ReadBytes, st.ReadDirs, st.BatchRPCs, st.BatchedOps)
+		}
+		fmt.Printf("%-6s %10d %10d %10d %10d %10d %10d %12d %12d %10d %10d %10d\n",
+			"total", total.Creates, total.StatOps, total.Removes, total.SizeUpdates,
+			total.WriteOps, total.ReadOps, total.WriteBytes, total.ReadBytes,
+			total.ReadDirs, total.BatchRPCs, total.BatchedOps)
+		fmt.Printf("rpcs: meta=%d chunk=%d batched-ops=%d\n",
+			total.MetaRPCs(), total.WriteOps+total.ReadOps, total.BatchedOps)
 	default:
 		usage()
 	}
@@ -203,7 +258,11 @@ commands:
   truncate <path> <n>  set a file's size
   put <local> <remote> copy a local file in
   get <remote> <local> copy a file out
-  cat <remote>         print a file`)
+  cat <remote>         print a file
+  stage-in <localdir> <remotedir>   parallel-copy a directory tree in
+  stage-out <remotedir> <localdir>  parallel-copy a directory tree out
+  stats                print per-daemon operation counters
+staging flags: -stage-workers n, -manifest file, -incremental`)
 	os.Exit(2)
 }
 

@@ -2,6 +2,7 @@ package gekkofs
 
 import (
 	"repro/internal/client"
+	"repro/internal/staging"
 )
 
 // FS is one mounted view of the file system. All methods are safe for
@@ -37,29 +38,7 @@ func (fs *FS) OpenFile(path string, flags int) (*File, error) {
 func (fs *FS) Mkdir(path string) error { return fs.c.Mkdir(path) }
 
 // MkdirAll creates path and any missing parents.
-func (fs *FS) MkdirAll(path string) error {
-	p := ""
-	rest := path
-	if len(rest) > 0 && rest[0] == '/' {
-		rest = rest[1:]
-	}
-	for rest != "" {
-		i := 0
-		for i < len(rest) && rest[i] != '/' {
-			i++
-		}
-		p = p + "/" + rest[:i]
-		if i == len(rest) {
-			rest = ""
-		} else {
-			rest = rest[i+1:]
-		}
-		if err := fs.c.Mkdir(p); err != nil && err != ErrExist {
-			return err
-		}
-	}
-	return nil
-}
+func (fs *FS) MkdirAll(path string) error { return fs.c.MkdirAll(path) }
 
 // Stat returns file information for path.
 func (fs *FS) Stat(path string) (FileInfo, error) { return fs.c.Stat(path) }
@@ -105,6 +84,24 @@ func (fs *FS) Symlink(oldpath, newpath string) error { return fs.c.Symlink(oldpa
 // Chmod returns ErrNotSupported: access control defers to the node-local
 // file system (paper §III-A).
 func (fs *FS) Chmod(path string, mode uint32) error { return fs.c.Chmod(path, mode) }
+
+// StageIn copies the host directory tree under hostDir into the
+// namespace at fsDir through the parallel staging engine: namespace
+// creation rides the vectored metadata plane, file data moves through a
+// bounded worker pool, zero runs become holes. Per-file failures are
+// collected in the report (its Err method joins them); the returned
+// error covers structural failures only.
+func (fs *FS) StageIn(hostDir, fsDir string, opts StageOptions) (*StageReport, error) {
+	return staging.StageIn(fs.c, hostDir, fsDir, opts)
+}
+
+// StageOut copies the namespace tree under fsDir to the host directory
+// hostDir, preserving sparseness. With StageOptions.Incremental (and a
+// manifest recorded at stage-in) files provably unmodified move zero
+// bytes.
+func (fs *FS) StageOut(fsDir, hostDir string, opts StageOptions) (*StageReport, error) {
+	return staging.StageOut(fs.c, fsDir, hostDir, opts)
+}
 
 // WriteFile creates path and writes data in one call.
 func (fs *FS) WriteFile(path string, data []byte) error {

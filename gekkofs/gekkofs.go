@@ -29,6 +29,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/daemon"
 	"repro/internal/proto"
+	"repro/internal/staging"
 )
 
 // Errors mirroring the relaxed-POSIX surface. Compare with errors.Is.
@@ -71,6 +72,14 @@ type DirEntry = client.DirEntry
 
 // DaemonStats exposes per-daemon operation counters.
 type DaemonStats = daemon.Stats
+
+// StageOptions tune a stage-in/stage-out transfer (see FS.StageIn).
+type StageOptions = staging.Options
+
+// StageReport is the structured outcome of one staging transfer:
+// files/bytes moved, skipped and failed, with per-file errors aggregated
+// (partial failure never aborts a transfer).
+type StageReport = staging.Report
 
 // Option configures a Cluster.
 type Option func(*core.Config)
@@ -129,6 +138,37 @@ func WithAsyncWrites(window int) Option {
 	}
 }
 
+// WithStageIn copies the directory tree under hostDir into the namespace
+// at fsDir as part of New — the job's input data arrives with the
+// deployment (the stage-in half of the temporary-FS lifecycle). Stage
+// time is reported by Cluster.StageInTime, separately from DeployTime;
+// per-file failures land in Cluster.StageInReport without failing
+// deployment. opts may be nil for defaults.
+func WithStageIn(hostDir, fsDir string, opts *StageOptions) Option {
+	return func(c *core.Config) {
+		spec := &core.StageSpec{HostDir: hostDir, FSDir: fsDir}
+		if opts != nil {
+			spec.Options = *opts
+		}
+		c.StageIn = spec
+	}
+}
+
+// WithStageOutOnClose copies the namespace tree under fsDir back to
+// hostDir during Close, before teardown — results reach the permanent
+// file system exactly when the temporary one dissolves. Failures surface
+// in Close's error and in Cluster.StageOutReport. opts may be nil for
+// defaults.
+func WithStageOutOnClose(fsDir, hostDir string, opts *StageOptions) Option {
+	return func(c *core.Config) {
+		spec := &core.StageSpec{HostDir: hostDir, FSDir: fsDir}
+		if opts != nil {
+			spec.Options = *opts
+		}
+		c.StageOutOnClose = spec
+	}
+}
+
 // Cluster is a running GekkoFS deployment.
 type Cluster struct {
 	c *core.Cluster
@@ -173,3 +213,18 @@ func (cl *Cluster) DeployTime() time.Duration { return cl.c.DeployTime() }
 
 // DaemonStats returns per-daemon operation counters, indexed by node.
 func (cl *Cluster) DaemonStats() []DaemonStats { return cl.c.DaemonStats() }
+
+// StageInTime reports how long WithStageIn's transfer took (zero when
+// none was configured).
+func (cl *Cluster) StageInTime() time.Duration { return cl.c.StageInTime() }
+
+// StageOutTime reports how long WithStageOutOnClose's transfer took.
+func (cl *Cluster) StageOutTime() time.Duration { return cl.c.StageOutTime() }
+
+// StageInReport returns the deploy-time stage-in's report (nil when no
+// stage-in was configured).
+func (cl *Cluster) StageInReport() *StageReport { return cl.c.StageInReport() }
+
+// StageOutReport returns the Close-time stage-out's report (nil until
+// Close runs with WithStageOutOnClose configured).
+func (cl *Cluster) StageOutReport() *StageReport { return cl.c.StageOutReport() }

@@ -18,8 +18,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"io/fs"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -236,6 +238,27 @@ func (c *Client) Mkdir(path string) error {
 		}
 	}
 	return c.createPath(p, meta.ModeDir)
+}
+
+// MkdirAll creates path and any missing parents, tolerating components
+// that already exist. One RPC per component; the facade's MkdirAll and
+// staging's destination-root creation share it.
+func (c *Client) MkdirAll(path string) error {
+	p, err := meta.Clean(path)
+	if err != nil {
+		return err
+	}
+	if p == meta.Root {
+		return nil
+	}
+	cur := ""
+	for _, part := range strings.Split(strings.TrimPrefix(p, "/"), "/") {
+		cur += "/" + part
+		if err := c.Mkdir(cur); err != nil && !errors.Is(err, proto.ErrExist) {
+			return err
+		}
+	}
+	return nil
 }
 
 // Open opens (and with O_CREATE creates) a file, returning a descriptor
@@ -524,7 +547,11 @@ func (c *Client) ReadDir(path string) ([]DirEntry, error) {
 	return all, nil
 }
 
-// readDirNode drains one daemon's directory scan page by page.
+// readDirNode drains one daemon's directory scan page by page. Entry
+// names are validated to be single path components: a hostile or buggy
+// daemon must not be able to plant "..", "", or slash-bearing names that
+// a consumer (stage-out's host-tree recreation, a recursive walk) would
+// resolve outside the directory it asked about.
 func (c *Client) readDirNode(node int, dir string) ([]DirEntry, error) {
 	var ents []DirEntry
 	after := ""
@@ -537,7 +564,13 @@ func (c *Client) readDirNode(node int, dir string) ([]DirEntry, error) {
 		}
 		n := d.U32()
 		for i := uint32(0); i < n; i++ {
-			ents = append(ents, DirEntry{Name: d.Str(), IsDir: d.U8() == 1, Size: d.I64()})
+			ent := DirEntry{Name: d.Str(), IsDir: d.U8() == 1, Size: d.I64()}
+			if ent.Name == "" || ent.Name == "." || ent.Name == ".." ||
+				strings.ContainsRune(ent.Name, '/') {
+				return nil, fmt.Errorf("gekkofs: daemon %d listed hostile entry name %q: %w",
+					node, ent.Name, proto.ErrInval)
+			}
+			ents = append(ents, ent)
 		}
 		next := d.Str()
 		if err := d.Done(); err != nil {
@@ -681,16 +714,56 @@ func (c *Client) Truncate(path string, size int64) error {
 	})
 }
 
+// notSupported wraps proto.ErrNotSupported in a *fs.PathError naming the
+// operation and path, so staging reports and user-facing errors say
+// `symlink /job/x: gekkofs: operation not supported` instead of a bare
+// sentinel. errors.Is(err, proto.ErrNotSupported) still holds.
+func notSupported(op, path string) error {
+	return &fs.PathError{Op: op, Path: path, Err: proto.ErrNotSupported}
+}
+
 // Rename is not supported: HPC application studies show parallel jobs
 // rarely if ever rename (paper §III-A, citing [17]).
-func (c *Client) Rename(oldpath, newpath string) error { return proto.ErrNotSupported }
+func (c *Client) Rename(oldpath, newpath string) error {
+	return notSupported("rename", oldpath+" -> "+newpath)
+}
 
 // Link is not supported (paper §III-A).
-func (c *Client) Link(oldpath, newpath string) error { return proto.ErrNotSupported }
+func (c *Client) Link(oldpath, newpath string) error {
+	return notSupported("link", oldpath+" -> "+newpath)
+}
 
 // Symlink is not supported (paper §III-A).
-func (c *Client) Symlink(oldpath, newpath string) error { return proto.ErrNotSupported }
+func (c *Client) Symlink(oldpath, newpath string) error {
+	return notSupported("symlink", newpath)
+}
 
 // Chmod is not supported: GekkoFS delegates security to the node-local
 // file system (paper §III-A).
-func (c *Client) Chmod(path string, mode uint32) error { return proto.ErrNotSupported }
+func (c *Client) Chmod(path string, mode uint32) error {
+	return notSupported("chmod", path)
+}
+
+// DaemonStats fans out OpStats and returns every daemon's operation
+// counters, indexed by node — the remote equivalent of
+// core.Cluster.DaemonStats for TCP deployments (gkfs-shell's stats
+// command).
+func (c *Client) DaemonStats() ([]proto.DaemonStats, error) {
+	out := make([]proto.DaemonStats, len(c.conns))
+	err := c.fanOut(func(node int) error {
+		d, err := c.call(node, proto.OpStats, nil, nil, rpc.BulkNone)
+		if err != nil {
+			return err
+		}
+		st := proto.DecodeDaemonStats(d)
+		if err := d.Done(); err != nil {
+			return err
+		}
+		out[node] = st
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -140,9 +140,19 @@ func (c *Client) writeSpansLocked(of *openFile, p []byte, off int64) error {
 	if of.pl != nil {
 		return c.enqueueSpansLocked(of, p, off)
 	}
-	groups := c.groupByTarget(of.path, off, int64(len(p)))
-	err := runGroups(groups, func(node int, g *targetGroup) error {
-		payload, bulk := encodeWrite(of.path, g, p)
+	if err := c.writeGroups(of.path, p, off); err != nil {
+		return err
+	}
+	return c.growSizeLocked(of, off+int64(len(p)))
+}
+
+// writeGroups pushes p's chunk spans for [off, off+len(p)) synchronously,
+// one RPC per owning daemon in parallel — the shared sync write core of
+// descriptor writes and WritePath.
+func (c *Client) writeGroups(path string, p []byte, off int64) error {
+	groups := c.groupByTarget(path, off, int64(len(p)))
+	return runGroups(groups, func(node int, g *targetGroup) error {
+		payload, bulk := encodeWrite(path, g, p)
 		d, err := c.call(node, proto.OpWriteChunks, payload, bulk, rpc.BulkIn)
 		rpc.PutBuf(bulk)
 		if err != nil {
@@ -150,10 +160,6 @@ func (c *Client) writeSpansLocked(of *openFile, p []byte, off int64) error {
 		}
 		return checkWritten(d, g.bytes)
 	})
-	if err != nil {
-		return err
-	}
-	return c.growSizeLocked(of, off+int64(len(p)))
 }
 
 // encodeWrite builds one write RPC's payload and its concatenated bulk
@@ -234,6 +240,59 @@ func (c *Client) enqueueSpansLocked(of *openFile, p []byte, off int64) error {
 	}
 	of.sizeDirty = true
 	return nil
+}
+
+// GrowSize raises the file's size to at least size without writing any
+// data: the byte range between the old EOF and size reads as zeros (a
+// hole), and no chunk is materialized for it. Staging uses it to give a
+// sparse file its full extent after skipping trailing zero runs. Under
+// AsyncWrites the candidate joins the descriptor's deferred size state
+// and lands at the next barrier; otherwise it follows the synchronous (or
+// size-cached) update protocol, exactly like a write ending at size.
+func (c *Client) GrowSize(fd int, size int64) error {
+	of, err := c.lookupFD(fd)
+	if err != nil {
+		return err
+	}
+	if of.flags&(O_WRONLY|O_RDWR) == 0 {
+		return proto.ErrInval
+	}
+	if size < 0 {
+		return proto.ErrInval
+	}
+	of.mu.Lock()
+	defer of.mu.Unlock()
+	if of.pl != nil {
+		if err := of.pl.takeErr(); err != nil {
+			return err
+		}
+		if size > of.pendingSize.Load() {
+			of.pendingSize.Store(size)
+		}
+		of.sizeDirty = true
+		return nil
+	}
+	return c.growSizeLocked(of, size)
+}
+
+// WritePath stores p at offset off of path without a descriptor: one
+// synchronous chunk RPC per owning daemon and nothing else — no file-map
+// slot, no stat, and deliberately no size update (callers own that, e.g.
+// through GrowMany's batched update-size plane). It is the bulk-ingest
+// write half of staging's small-file path; general applications should
+// use descriptors, whose size handling is automatic.
+func (c *Client) WritePath(path string, p []byte, off int64) error {
+	pth, err := meta.Clean(path)
+	if err != nil {
+		return err
+	}
+	if off < 0 {
+		return proto.ErrInval
+	}
+	if len(p) == 0 {
+		return nil
+	}
+	return c.writeGroups(pth, p, off)
 }
 
 // flushAsyncSizeLocked pushes the write-behind size candidate, if any.

@@ -1,6 +1,7 @@
 package client
 
 import (
+	"fmt"
 	"sync"
 	"time"
 
@@ -145,6 +146,48 @@ func (c *Client) StatMany(paths []string) ([]FileInfo, []error) {
 		infos[i] = infoFromMeta(ops[j].Path, md)
 	}
 	return infos, errs
+}
+
+// GrowMany raises file sizes through the vector plane: sizes[i] becomes a
+// grow (merge) candidate for paths[i], sharded by metadata owner into one
+// OpBatchMeta per daemon — one RPC and one WAL append per batch instead
+// of one OpUpdateSize round trip per file. Staging's small-file path
+// pairs it with WritePath: chunk data first, then the whole batch's sizes
+// in one stroke. One error per path, aligned with the input.
+func (c *Client) GrowMany(paths []string, sizes []int64) []error {
+	errs := make([]error, len(paths))
+	if len(sizes) != len(paths) {
+		for i := range errs {
+			errs[i] = fmt.Errorf("client: GrowMany got %d paths, %d sizes: %w",
+				len(paths), len(sizes), proto.ErrInval)
+		}
+		return errs
+	}
+	ops := make([]proto.MetaOp, 0, len(paths))
+	opIdx := make([]int, 0, len(paths))
+	now := time.Now().UnixNano()
+	for i, path := range paths {
+		p, err := meta.Clean(path)
+		if err != nil {
+			errs[i] = err
+			continue
+		}
+		if sizes[i] < 0 {
+			errs[i] = proto.ErrInval
+			continue
+		}
+		ops = append(ops, proto.MetaOp{Kind: proto.MetaOpUpdateSize, Path: p, Size: sizes[i], TimeNS: now})
+		opIdx = append(opIdx, i)
+	}
+	results, rerrs := c.batchMeta(ops)
+	for j := range results {
+		if rerrs[j] != nil {
+			errs[opIdx[j]] = rerrs[j]
+			continue
+		}
+		errs[opIdx[j]] = results[j].Errno.Err()
+	}
+	return errs
 }
 
 // RemoveMany unlinks paths, one batch RPC per daemon plus chunk

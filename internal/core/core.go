@@ -19,9 +19,24 @@ import (
 	"repro/internal/distributor"
 	"repro/internal/meta"
 	"repro/internal/rpc"
+	"repro/internal/staging"
 	"repro/internal/transport"
 	"repro/internal/vfs"
 )
+
+// StageSpec names one directory-tree transfer between the host file
+// system (the job's permanent PFS) and the deployment's namespace. It is
+// the configuration form of the staging subsystem's lifecycle hooks: the
+// paper's temporary-FS deployment cycle is stage-in, compute, stage-out,
+// tear down.
+type StageSpec struct {
+	// HostDir is the host/PFS-side directory.
+	HostDir string
+	// FSDir is the GekkoFS-side directory.
+	FSDir string
+	// Options tune the transfer engine.
+	Options staging.Options
+}
 
 // Config describes an in-process cluster.
 type Config struct {
@@ -57,6 +72,17 @@ type Config struct {
 	// the paper's hashing, "guided-first-chunk" for the co-located
 	// first-chunk variant.
 	Distributor string
+	// StageIn, when set, copies a host directory tree into the namespace
+	// during NewCluster, after the health check — the job's input data
+	// arrives with the deployment. Stage time is reported separately from
+	// bring-up (StageInTime vs DeployTime). Per-file failures do not fail
+	// deployment; inspect StageInReport.
+	StageIn *StageSpec
+	// StageOutOnClose, when set, copies a namespace tree back to the host
+	// during Close, before teardown — results are flushed to the
+	// permanent file system exactly when the temporary one dissolves.
+	// Failures surface in Close's error and in StageOutReport.
+	StageOutOnClose *StageSpec
 }
 
 // Cluster is a running in-process deployment.
@@ -65,6 +91,12 @@ type Cluster struct {
 	daemons []*daemon.Daemon
 	net     *transport.MemNetwork
 	deploy  time.Duration
+
+	stageInTime  time.Duration
+	stageOutTime time.Duration
+	stageIn      *staging.Report
+	stageOut     *staging.Report
+	ready        bool // NewCluster completed; Close may stage out
 
 	mu    sync.Mutex
 	conns [][]rpc.Conn // conns handed to clients, closed on Close
@@ -147,12 +179,49 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	}
 
 	c.deploy = time.Since(begin)
+
+	// Stage-in runs after bring-up and is timed separately: the paper's
+	// deployability claim (< 20 s at 512 nodes) is about the file system
+	// itself; how long the job's input data takes to arrive depends on
+	// its volume, not on GekkoFS bring-up.
+	if cfg.StageIn != nil {
+		sb := time.Now()
+		stager, err := c.newClient()
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("core: stage-in: %w", err)
+		}
+		rep, err := staging.StageIn(stager, cfg.StageIn.HostDir, cfg.StageIn.FSDir, cfg.StageIn.Options)
+		c.stageIn = rep
+		c.stageInTime = time.Since(sb)
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("core: stage-in: %w", err)
+		}
+	}
+	c.ready = true
 	return c, nil
 }
 
 // DeployTime reports how long bring-up took (daemon start + health check
-// + namespace bootstrap).
+// + namespace bootstrap), excluding any configured stage-in.
 func (c *Cluster) DeployTime() time.Duration { return c.deploy }
+
+// StageInTime reports how long the configured stage-in took (zero when
+// none was configured).
+func (c *Cluster) StageInTime() time.Duration { return c.stageInTime }
+
+// StageOutTime reports how long Close's configured stage-out took.
+func (c *Cluster) StageOutTime() time.Duration { return c.stageOutTime }
+
+// StageInReport returns the deploy-time stage-in's report (nil when no
+// stage-in was configured). Per-file failures land here, not in
+// NewCluster's error — partial input is still a running deployment.
+func (c *Cluster) StageInReport() *staging.Report { return c.stageIn }
+
+// StageOutReport returns the Close-time stage-out's report (nil until
+// Close runs, or when no stage-out was configured).
+func (c *Cluster) StageOutReport() *staging.Report { return c.stageOut }
 
 // Nodes returns the daemon count.
 func (c *Cluster) Nodes() int { return c.cfg.Nodes }
@@ -228,6 +297,30 @@ func (c *Cluster) DaemonStats() []daemon.Stats {
 // does not promise (DataDir deployments can be reopened, which tests use
 // to verify crash recovery of the metadata store).
 func (c *Cluster) Close() error {
+	// Stage-out first, while the deployment still serves: the results
+	// must reach the permanent file system before the temporary one
+	// dissolves. Both structural and per-file failures surface in the
+	// returned error — losing result data on teardown must be loud.
+	var stageErrs []error
+	if c.cfg.StageOutOnClose != nil && c.ready && c.daemons != nil {
+		c.ready = false // a second Close must not stage out again
+		sb := time.Now()
+		stager, err := c.newClient()
+		if err != nil {
+			stageErrs = append(stageErrs, fmt.Errorf("core: stage-out: %w", err))
+		} else {
+			rep, err := staging.StageOut(stager, c.cfg.StageOutOnClose.FSDir,
+				c.cfg.StageOutOnClose.HostDir, c.cfg.StageOutOnClose.Options)
+			c.stageOut = rep
+			if err != nil {
+				stageErrs = append(stageErrs, fmt.Errorf("core: stage-out: %w", err))
+			}
+			if err := rep.Err(); err != nil {
+				stageErrs = append(stageErrs, fmt.Errorf("core: stage-out: %w", err))
+			}
+		}
+		c.stageOutTime = time.Since(sb)
+	}
 	c.mu.Lock()
 	for _, conns := range c.conns {
 		for _, conn := range conns {
@@ -236,7 +329,7 @@ func (c *Cluster) Close() error {
 	}
 	c.conns = nil
 	c.mu.Unlock()
-	var errs []error
+	errs := stageErrs
 	for _, d := range c.daemons {
 		if d != nil {
 			if err := d.Close(); err != nil {

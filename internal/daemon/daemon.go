@@ -16,6 +16,7 @@ import (
 	"repro/internal/chunkstore"
 	"repro/internal/kvstore"
 	"repro/internal/meta"
+	"repro/internal/proto"
 	"repro/internal/rpc"
 	"repro/internal/vfs"
 )
@@ -37,24 +38,10 @@ type Config struct {
 	SyncWAL bool
 }
 
-// Stats are the daemon's operation counters.
-type Stats struct {
-	// Creates, StatOps, Removes count metadata operations.
-	Creates, StatOps, Removes uint64
-	// SizeUpdates counts size merge/truncate operations.
-	SizeUpdates uint64
-	// WriteOps and ReadOps count chunk RPCs; WriteBytes and ReadBytes the
-	// moved payloads.
-	WriteOps, ReadOps     uint64
-	WriteBytes, ReadBytes uint64
-	// ReadDirs counts directory scan pages served.
-	ReadDirs uint64
-	// BatchRPCs counts OpBatchMeta calls; BatchedOps the sub-operations
-	// they carried. BatchedOps/BatchRPCs is the achieved batching factor —
-	// the number of metadata ops amortized over one RPC and one WAL
-	// append.
-	BatchRPCs, BatchedOps uint64
-}
+// Stats are the daemon's operation counters. The type is shared with the
+// wire representation clients decode (proto.DaemonStats, served by
+// OpStats), so in-process tests and remote tooling read the same shape.
+type Stats = proto.DaemonStats
 
 // Daemon is one GekkoFS server.
 type Daemon struct {

@@ -514,10 +514,7 @@ func (d *Daemon) handleReadDir(req []byte, _ rpc.Bulk) ([]byte, error) {
 }
 
 func (d *Daemon) handleStats([]byte, rpc.Bulk) ([]byte, error) {
-	st := d.Stats()
 	e := okResp(11 * 8)
-	e.U64(st.Creates).U64(st.StatOps).U64(st.Removes).U64(st.SizeUpdates)
-	e.U64(st.WriteOps).U64(st.ReadOps).U64(st.WriteBytes).U64(st.ReadBytes)
-	e.U64(st.ReadDirs).U64(st.BatchRPCs).U64(st.BatchedOps)
+	proto.EncodeDaemonStats(e, d.Stats())
 	return e.Bytes(), nil
 }

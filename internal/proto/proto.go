@@ -242,6 +242,73 @@ const (
 	MaxReadDirPage = 1 << 16
 )
 
+// DaemonStats are one daemon's operation counters as carried by the
+// OpStats reply. The struct doubles as the daemon's in-memory snapshot
+// type (daemon.Stats is an alias) and the wire shape tooling decodes
+// (gkfs-shell's stats command, tests).
+type DaemonStats struct {
+	// Creates, StatOps, Removes count metadata operations.
+	Creates, StatOps, Removes uint64
+	// SizeUpdates counts size merge/truncate operations.
+	SizeUpdates uint64
+	// WriteOps and ReadOps count chunk RPCs; WriteBytes and ReadBytes the
+	// moved payloads.
+	WriteOps, ReadOps     uint64
+	WriteBytes, ReadBytes uint64
+	// ReadDirs counts directory scan pages served.
+	ReadDirs uint64
+	// BatchRPCs counts OpBatchMeta calls; BatchedOps the sub-operations
+	// they carried. BatchedOps/BatchRPCs is the achieved batching factor —
+	// the number of metadata ops amortized over one RPC and one WAL
+	// append.
+	BatchRPCs, BatchedOps uint64
+}
+
+// Add accumulates other's counters into st (per-cluster totals).
+func (st *DaemonStats) Add(other DaemonStats) {
+	st.Creates += other.Creates
+	st.StatOps += other.StatOps
+	st.Removes += other.Removes
+	st.SizeUpdates += other.SizeUpdates
+	st.WriteOps += other.WriteOps
+	st.ReadOps += other.ReadOps
+	st.WriteBytes += other.WriteBytes
+	st.ReadBytes += other.ReadBytes
+	st.ReadDirs += other.ReadDirs
+	st.BatchRPCs += other.BatchRPCs
+	st.BatchedOps += other.BatchedOps
+}
+
+// MetaRPCs sums the metadata-plane RPC counters.
+func (st DaemonStats) MetaRPCs() uint64 {
+	return st.Creates + st.StatOps + st.Removes + st.SizeUpdates + st.ReadDirs + st.BatchRPCs
+}
+
+// EncodeDaemonStats appends the OpStats reply body (11 u64 counters, in
+// struct order).
+func EncodeDaemonStats(e *rpc.Enc, st DaemonStats) {
+	e.U64(st.Creates).U64(st.StatOps).U64(st.Removes).U64(st.SizeUpdates)
+	e.U64(st.WriteOps).U64(st.ReadOps).U64(st.WriteBytes).U64(st.ReadBytes)
+	e.U64(st.ReadDirs).U64(st.BatchRPCs).U64(st.BatchedOps)
+}
+
+// DecodeDaemonStats reads what EncodeDaemonStats wrote.
+func DecodeDaemonStats(d *rpc.Dec) DaemonStats {
+	var st DaemonStats
+	st.Creates = d.U64()
+	st.StatOps = d.U64()
+	st.Removes = d.U64()
+	st.SizeUpdates = d.U64()
+	st.WriteOps = d.U64()
+	st.ReadOps = d.U64()
+	st.WriteBytes = d.U64()
+	st.ReadBytes = d.U64()
+	st.ReadDirs = d.U64()
+	st.BatchRPCs = d.U64()
+	st.BatchedOps = d.U64()
+	return st
+}
+
 // MetaOpKind discriminates OpBatchMeta sub-operations.
 type MetaOpKind uint8
 

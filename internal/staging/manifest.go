@@ -1,0 +1,206 @@
+package staging
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The staging manifest records what a stage-in put into the cluster —
+// per file its size, content hash and the cluster mtime observed when
+// the copy completed — so a later stage-out can prove a file unmodified
+// and skip it (XUFS-style resumable synchronization back to the home
+// file system), and gkfs-fsck can cross-check a live namespace against
+// what was staged. It is a plain line-oriented text file on the host
+// side; the cluster never stores it.
+
+// manifestMagic is the first line of every manifest file.
+const manifestMagic = "gekkofs-stage-manifest v1"
+
+// ErrBadManifest reports a manifest file that does not parse.
+var ErrBadManifest = errors.New("staging: malformed manifest")
+
+// Entry is one manifest record.
+type Entry struct {
+	// Rel is the path relative to the staged root, slash-separated,
+	// never absolute and never escaping the root.
+	Rel string
+	// Dir marks a directory entry (Size/Hash are meaningless).
+	Dir bool
+	// Size is the file size in bytes at recording time.
+	Size int64
+	// Hash is the hex SHA-256 of the file content at recording time.
+	Hash string
+	// MTimeNS is the cluster mtime (UnixNano) observed when the entry was
+	// recorded; a cluster file whose mtime moved past it has been
+	// modified since.
+	MTimeNS int64
+}
+
+// Manifest is a set of entries keyed by relative path. Methods are not
+// safe for concurrent use; the staging engine serializes access.
+type Manifest struct {
+	entries map[string]Entry
+}
+
+// NewManifest returns an empty manifest.
+func NewManifest() *Manifest {
+	return &Manifest{entries: make(map[string]Entry)}
+}
+
+// Put inserts or replaces an entry.
+func (m *Manifest) Put(e Entry) { m.entries[e.Rel] = e }
+
+// Get looks an entry up by relative path.
+func (m *Manifest) Get(rel string) (Entry, bool) {
+	e, ok := m.entries[rel]
+	return e, ok
+}
+
+// Delete removes an entry (a file that failed to transfer must not be
+// skippable on the next incremental pass).
+func (m *Manifest) Delete(rel string) { delete(m.entries, rel) }
+
+// Len reports the entry count.
+func (m *Manifest) Len() int { return len(m.entries) }
+
+// Entries returns all entries sorted by relative path.
+func (m *Manifest) Entries() []Entry {
+	out := make([]Entry, 0, len(m.entries))
+	for _, e := range m.entries {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Rel < out[j].Rel })
+	return out
+}
+
+// checkRel validates a relative path for manifest use: slash-form,
+// clean, unable to escape the staging root (a hostile manifest must not
+// redirect a stage-out outside its destination directory), and free of
+// line breaks (a newline-bearing name would otherwise split into — or
+// forge — manifest lines). Both the decode and encode sides apply it.
+func checkRel(rel string) error {
+	if rel == "" || rel == "." || path.IsAbs(rel) {
+		return fmt.Errorf("%w: bad path %q", ErrBadManifest, rel)
+	}
+	if path.Clean(rel) != rel || rel == ".." || strings.HasPrefix(rel, "../") {
+		return fmt.Errorf("%w: unclean path %q", ErrBadManifest, rel)
+	}
+	if strings.ContainsAny(rel, "\n\r") {
+		return fmt.Errorf("%w: line break in path %q", ErrBadManifest, rel)
+	}
+	return nil
+}
+
+// Encode writes the manifest: a magic line, then one
+// `<kind> <size> <hash> <mtime> <relpath>` line per entry, sorted so
+// encodings are deterministic. Paths may contain spaces — the path is
+// the final field and runs to end of line.
+func (m *Manifest) Encode(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, manifestMagic)
+	for _, e := range m.Entries() {
+		if err := checkRel(e.Rel); err != nil {
+			return err
+		}
+		if e.Dir {
+			fmt.Fprintf(bw, "d 0 - %d %s\n", e.MTimeNS, e.Rel)
+			continue
+		}
+		hash := e.Hash
+		if hash == "" {
+			hash = "-"
+		}
+		fmt.Fprintf(bw, "f %d %s %d %s\n", e.Size, hash, e.MTimeNS, e.Rel)
+	}
+	return bw.Flush()
+}
+
+// DecodeManifest parses what Encode wrote.
+func DecodeManifest(r io.Reader) (*Manifest, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("%w: empty file", ErrBadManifest)
+	}
+	if sc.Text() != manifestMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadManifest, sc.Text())
+	}
+	m := NewManifest()
+	line := 1
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if text == "" {
+			continue
+		}
+		fields := strings.SplitN(text, " ", 5)
+		if len(fields) != 5 {
+			return nil, fmt.Errorf("%w: line %d: %q", ErrBadManifest, line, text)
+		}
+		size, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil || size < 0 {
+			return nil, fmt.Errorf("%w: line %d: bad size %q", ErrBadManifest, line, fields[1])
+		}
+		mtime, err := strconv.ParseInt(fields[3], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%w: line %d: bad mtime %q", ErrBadManifest, line, fields[3])
+		}
+		rel := fields[4]
+		if err := checkRel(rel); err != nil {
+			return nil, fmt.Errorf("line %d: %w", line, err)
+		}
+		e := Entry{Rel: rel, Size: size, MTimeNS: mtime}
+		switch fields[0] {
+		case "d":
+			e.Dir = true
+			e.Size = 0
+		case "f":
+			if fields[2] != "-" {
+				e.Hash = fields[2]
+			}
+		default:
+			return nil, fmt.Errorf("%w: line %d: bad kind %q", ErrBadManifest, line, fields[0])
+		}
+		m.Put(e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("staging: reading manifest: %w", err)
+	}
+	return m, nil
+}
+
+// LoadManifest reads a manifest file from the host file system.
+func LoadManifest(path string) (*Manifest, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return DecodeManifest(f)
+}
+
+// WriteFile stores the manifest at path atomically (temp file + rename),
+// so a crashed stage never leaves a half-written manifest behind.
+func (m *Manifest) WriteFile(path string) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".gkfs-manifest-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := m.Encode(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}

@@ -1,0 +1,646 @@
+package staging_test
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+
+	"repro/internal/client"
+	"repro/internal/daemon"
+	"repro/internal/rpc"
+	"repro/internal/staging"
+	"repro/internal/transport"
+	"repro/internal/vfs"
+)
+
+// newStageCluster builds an in-process deployment and one client wired
+// to it, returning the daemons so tests can inspect operation counters.
+func newStageCluster(t testing.TB, nodes int, cfg client.Config) (*client.Client, []*daemon.Daemon) {
+	t.Helper()
+	net := transport.NewMemNetwork()
+	daemons := make([]*daemon.Daemon, nodes)
+	conns := make([]rpc.Conn, nodes)
+	for i := 0; i < nodes; i++ {
+		d, err := daemon.New(daemon.Config{ID: i, FS: vfs.NewMem(), ChunkSize: cfg.ChunkSize})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { d.Close() })
+		daemons[i] = d
+		net.Register(i, d.Server())
+		conn, err := net.Dial(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		conns[i] = conn
+	}
+	cfg.Conns = conns
+	c, err := client.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.EnsureRoot(); err != nil {
+		t.Fatal(err)
+	}
+	return c, daemons
+}
+
+func sumStats(daemons []*daemon.Daemon) daemon.Stats {
+	var total daemon.Stats
+	for _, d := range daemons {
+		total.Add(d.Stats())
+	}
+	return total
+}
+
+func writeHostFile(t *testing.T, path string, data []byte) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// patterned returns deterministic non-zero data.
+func patterned(n int, seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	b := make([]byte, n)
+	rng.Read(b)
+	for i := range b {
+		if b[i] == 0 {
+			b[i] = 0xA5
+		}
+	}
+	return b
+}
+
+// mustStageIn / mustStageOut run a transfer and assert it finished with
+// no failures of any kind.
+func mustStageIn(t *testing.T, c *client.Client, hostDir, fsDir string, opts staging.Options) *staging.Report {
+	t.Helper()
+	rep, err := staging.StageIn(c, hostDir, fsDir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Err(); err != nil {
+		t.Fatalf("per-file failures: %v", err)
+	}
+	return rep
+}
+
+func mustStageOut(t *testing.T, c *client.Client, fsDir, hostDir string, opts staging.Options) *staging.Report {
+	t.Helper()
+	rep, err := staging.StageOut(c, fsDir, hostDir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Err(); err != nil {
+		t.Fatalf("per-file failures: %v", err)
+	}
+	return rep
+}
+
+// compareTrees asserts every regular file under want has an identical
+// counterpart under got, and vice versa.
+func compareTrees(t *testing.T, want, got string) {
+	t.Helper()
+	count := func(root string) int {
+		n := 0
+		filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
+			if err != nil {
+				t.Fatalf("walk %s: %v", p, err)
+			}
+			if !d.IsDir() {
+				n++
+			}
+			return nil
+		})
+		return n
+	}
+	filepath.WalkDir(want, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			t.Fatalf("walk %s: %v", p, err)
+		}
+		if d.IsDir() {
+			return nil
+		}
+		rel, _ := filepath.Rel(want, p)
+		w, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := os.ReadFile(filepath.Join(got, rel))
+		if err != nil {
+			t.Fatalf("round-tripped file missing: %v", err)
+		}
+		if !bytes.Equal(w, g) {
+			t.Fatalf("%s differs after round trip (%d vs %d bytes)", rel, len(w), len(g))
+		}
+		return nil
+	})
+	if cw, cg := count(want), count(got); cw != cg {
+		t.Fatalf("tree file counts differ: %d vs %d", cw, cg)
+	}
+}
+
+// allocatedBytes reports a host file's allocated (non-hole) bytes, or -1
+// when the platform does not expose block counts.
+func allocatedBytes(path string) int64 {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return -1
+	}
+	st, ok := fi.Sys().(*syscall.Stat_t)
+	if !ok {
+		return -1
+	}
+	return st.Blocks * 512
+}
+
+// TestStageRoundTripFidelity stages a mixed tree in and back out and
+// requires byte identity, including a sparse file whose holes must
+// survive the round trip.
+func TestStageRoundTripFidelity(t *testing.T) {
+	for _, async := range []bool{false, true} {
+		t.Run(fmt.Sprintf("async=%v", async), func(t *testing.T) {
+			c, _ := newStageCluster(t, 4, client.Config{ChunkSize: 64 << 10, AsyncWrites: async})
+			src, out := t.TempDir(), t.TempDir()
+
+			writeHostFile(t, filepath.Join(src, "small.txt"), []byte("hello staging"))
+			writeHostFile(t, filepath.Join(src, "empty.dat"), nil)
+			writeHostFile(t, filepath.Join(src, "sub", "with space.txt"), []byte("spaced name"))
+			// Large: several chunks across every daemon.
+			writeHostFile(t, filepath.Join(src, "sub", "deep", "large.bin"), patterned(1<<20, 1))
+			// Sparse: data, a 2 MiB hole, data, then a 1 MiB trailing hole.
+			sp, err := os.Create(filepath.Join(src, "sparse.bin"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := sp.WriteAt(patterned(8<<10, 2), 0); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := sp.WriteAt(patterned(8<<10, 3), 2<<20); err != nil {
+				t.Fatal(err)
+			}
+			if err := sp.Truncate(3 << 20); err != nil {
+				t.Fatal(err)
+			}
+			if err := sp.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			rep := mustStageIn(t, c, src, "/job", staging.Options{Workers: 4})
+			if rep.Files != 5 {
+				t.Fatalf("stage-in moved %d files, want 5", rep.Files)
+			}
+			if rep.Dirs != 2 {
+				t.Fatalf("stage-in created %d dirs, want 2", rep.Dirs)
+			}
+			info, err := c.Stat("/job/sparse.bin")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if info.Size() != 3<<20 {
+				t.Fatalf("sparse file staged to %d bytes, want %d", info.Size(), 3<<20)
+			}
+
+			rep = mustStageOut(t, c, "/job", out, staging.Options{Workers: 4})
+			if rep.Files != 5 {
+				t.Fatalf("stage-out moved %d files, want 5", rep.Files)
+			}
+			compareTrees(t, src, out)
+
+			// Holes must come back as holes when the host FS supports
+			// them (judged by whether the source file is itself sparse).
+			srcAlloc := allocatedBytes(filepath.Join(src, "sparse.bin"))
+			outAlloc := allocatedBytes(filepath.Join(out, "sparse.bin"))
+			if srcAlloc >= 0 && srcAlloc < 3<<20 {
+				if outAlloc < 0 || outAlloc >= 3<<20 {
+					t.Fatalf("sparseness lost: src allocates %d bytes, round-trip allocates %d", srcAlloc, outAlloc)
+				}
+			}
+		})
+	}
+}
+
+// TestStageSegmentedLargeFile forces the striped large-file path (tiny
+// SegmentBytes) and requires byte fidelity for a file whose data and
+// holes straddle segment boundaries, in both directions.
+func TestStageSegmentedLargeFile(t *testing.T) {
+	for _, async := range []bool{false, true} {
+		t.Run(fmt.Sprintf("async=%v", async), func(t *testing.T) {
+			c, _ := newStageCluster(t, 4, client.Config{ChunkSize: 16 << 10, AsyncWrites: async})
+			src, out := t.TempDir(), t.TempDir()
+			// 1 MiB file, 128 KiB segments → 8 segments. Data blocks at
+			// irregular offsets; the rest is holes, including the first
+			// and last segments entirely.
+			f, err := os.Create(filepath.Join(src, "big.bin"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, off := range []int64{140 << 10, 300 << 10, 511 << 10, 700 << 10} {
+				if _, err := f.WriteAt(patterned(24<<10, off), off); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := f.Truncate(1 << 20); err != nil {
+				t.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			opts := staging.Options{Workers: 4, SegmentBytes: 128 << 10, BufBytes: 64 << 10}
+			rep := mustStageIn(t, c, src, "/job", opts)
+			if rep.Files != 1 || rep.Bytes != 1<<20 {
+				t.Fatalf("stage-in report: %s", rep.Summary())
+			}
+			info, err := c.Stat("/job/big.bin")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if info.Size() != 1<<20 {
+				t.Fatalf("staged size = %d, want %d", info.Size(), 1<<20)
+			}
+			rep = mustStageOut(t, c, "/job", out, opts)
+			if rep.Files != 1 || rep.Bytes != 1<<20 {
+				t.Fatalf("stage-out report: %s", rep.Summary())
+			}
+			compareTrees(t, src, out)
+
+			// Restage over the existing tree (the O_TRUNC-once path) and
+			// verify again.
+			rep = mustStageIn(t, c, src, "/job", opts)
+			if rep.Files != 1 {
+				t.Fatalf("restage report: %s", rep.Summary())
+			}
+			out2 := t.TempDir()
+			mustStageOut(t, c, "/job", out2, opts)
+			compareTrees(t, src, out2)
+		})
+	}
+}
+
+// TestStageInHoleOnlyFileMovesNoBytes stages a file that is one giant
+// hole: the namespace must get the full size, the wire must carry zero
+// chunk payload.
+func TestStageInHoleOnlyFileMovesNoBytes(t *testing.T) {
+	c, daemons := newStageCluster(t, 4, client.Config{ChunkSize: 64 << 10})
+	src := t.TempDir()
+	f, err := os.Create(filepath.Join(src, "hole.dat"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Truncate(8 << 20); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rep := mustStageIn(t, c, src, "/job", staging.Options{})
+	if rep.Files != 1 || rep.Bytes != 8<<20 {
+		t.Fatalf("report = %d files, %d bytes; want 1 file, %d bytes", rep.Files, rep.Bytes, 8<<20)
+	}
+	if st := sumStats(daemons); st.WriteBytes != 0 {
+		t.Fatalf("hole-only stage-in pushed %d chunk bytes, want 0", st.WriteBytes)
+	}
+	info, err := c.Stat("/job/hole.dat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size() != 8<<20 {
+		t.Fatalf("staged size = %d, want %d", info.Size(), 8<<20)
+	}
+	// The hole reads as zeros.
+	fd, err := c.Open("/job/hole.dat", client.O_RDONLY)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close(fd)
+	buf := make([]byte, 4096)
+	if _, err := c.ReadAt(fd, buf, 4<<20); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range buf {
+		if b != 0 {
+			t.Fatal("hole read back non-zero")
+		}
+	}
+}
+
+// TestStageEmptyFileRoundTrip covers the zero-size edge end to end.
+func TestStageEmptyFileRoundTrip(t *testing.T) {
+	c, _ := newStageCluster(t, 2, client.Config{ChunkSize: 64 << 10})
+	src, out := t.TempDir(), t.TempDir()
+	writeHostFile(t, filepath.Join(src, "empty"), nil)
+	rep := mustStageIn(t, c, src, "/job", staging.Options{})
+	if rep.Files != 1 || rep.Bytes != 0 {
+		t.Fatalf("stage-in report = %+v", rep)
+	}
+	rep = mustStageOut(t, c, "/job", out, staging.Options{})
+	if rep.Files != 1 || rep.Bytes != 0 {
+		t.Fatalf("stage-out report = %+v", rep)
+	}
+	fi, err := os.Stat(filepath.Join(out, "empty"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() != 0 {
+		t.Fatalf("empty file came back %d bytes", fi.Size())
+	}
+}
+
+// TestStageDeepAndWideTree pushes a directory past one ReadDir page
+// (4096 entries) plus a deep chain, and requires the full population to
+// round-trip.
+func TestStageDeepAndWideTree(t *testing.T) {
+	const wide = 4200 // > proto.DefaultReadDirPage
+	c, _ := newStageCluster(t, 4, client.Config{ChunkSize: 64 << 10})
+	src, out := t.TempDir(), t.TempDir()
+	if err := os.MkdirAll(filepath.Join(src, "wide"), 0o777); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < wide; i++ {
+		if err := os.WriteFile(filepath.Join(src, "wide", fmt.Sprintf("f%05d", i)), nil, 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deep := filepath.Join(src, "a", "b", "c", "d", "e")
+	writeHostFile(t, filepath.Join(deep, "leaf.txt"), []byte("deep leaf"))
+
+	rep := mustStageIn(t, c, src, "/job", staging.Options{Workers: 8})
+	if rep.Files != wide+1 {
+		t.Fatalf("stage-in moved %d files, want %d", rep.Files, wide+1)
+	}
+	ents, err := c.ReadDir("/job/wide")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != wide {
+		t.Fatalf("cluster listing has %d entries, want %d", len(ents), wide)
+	}
+	rep = mustStageOut(t, c, "/job", out, staging.Options{Workers: 8})
+	if rep.Files != wide+1 {
+		t.Fatalf("stage-out moved %d files, want %d", rep.Files, wide+1)
+	}
+	compareTrees(t, src, out)
+}
+
+// TestStageInPartialFailure plants a directory where a file must land:
+// that file fails, is recorded, and its siblings still move.
+func TestStageInPartialFailure(t *testing.T) {
+	c, _ := newStageCluster(t, 2, client.Config{ChunkSize: 64 << 10})
+	src := t.TempDir()
+	writeHostFile(t, filepath.Join(src, "collide.txt"), []byte("cannot land"))
+	writeHostFile(t, filepath.Join(src, "ok.txt"), []byte("sibling moves"))
+	if err := c.Mkdir("/job"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Mkdir("/job/collide.txt"); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := staging.StageIn(c, src, "/job", staging.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed != 1 || rep.Files != 1 {
+		t.Fatalf("report = %d moved, %d failed; want 1 and 1", rep.Files, rep.Failed)
+	}
+	rerr := rep.Err()
+	if rerr == nil {
+		t.Fatal("partial failure reported no error")
+	}
+	if !strings.Contains(rerr.Error(), "/job/collide.txt") {
+		t.Fatalf("failure does not name the path: %v", rerr)
+	}
+	fd, err := c.Open("/job/ok.txt", client.O_RDONLY)
+	if err != nil {
+		t.Fatalf("sibling did not move: %v", err)
+	}
+	defer c.Close(fd)
+	buf := make([]byte, 32)
+	n, _ := c.ReadAt(fd, buf, 0)
+	if string(buf[:n]) != "sibling moves" {
+		t.Fatalf("sibling content = %q", buf[:n])
+	}
+}
+
+// TestStageOutPartialFailure plants a host directory where a cluster
+// file must land; the sibling still moves and the failure names the
+// path.
+func TestStageOutPartialFailure(t *testing.T) {
+	c, _ := newStageCluster(t, 2, client.Config{ChunkSize: 64 << 10})
+	src, out := t.TempDir(), t.TempDir()
+	writeHostFile(t, filepath.Join(src, "blocked.txt"), []byte("x"))
+	writeHostFile(t, filepath.Join(src, "fine.txt"), []byte("moves fine"))
+	mustStageIn(t, c, src, "/job", staging.Options{})
+	if err := os.MkdirAll(filepath.Join(out, "blocked.txt"), 0o777); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := staging.StageOut(c, "/job", out, staging.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed != 1 || rep.Files != 1 {
+		t.Fatalf("report = %d moved, %d failed; want 1 and 1", rep.Files, rep.Failed)
+	}
+	if rerr := rep.Err(); rerr == nil || !strings.Contains(rerr.Error(), "blocked.txt") {
+		t.Fatalf("failure does not name the path: %v", rerr)
+	}
+	got, err := os.ReadFile(filepath.Join(out, "fine.txt"))
+	if err != nil || string(got) != "moves fine" {
+		t.Fatalf("sibling = %q, %v", got, err)
+	}
+}
+
+// TestIncrementalStageOut verifies the manifest-driven skip: an
+// unmodified tree moves zero bytes, a modified file moves alone, and a
+// repeat pass skips everything again.
+func TestIncrementalStageOut(t *testing.T) {
+	c, daemons := newStageCluster(t, 4, client.Config{ChunkSize: 64 << 10})
+	src := t.TempDir()
+	manifest := filepath.Join(t.TempDir(), "manifest.txt")
+	writeHostFile(t, filepath.Join(src, "a.dat"), patterned(256<<10, 10))
+	writeHostFile(t, filepath.Join(src, "sub", "b.dat"), patterned(32<<10, 11))
+	writeHostFile(t, filepath.Join(src, "c.txt"), []byte("small and stable"))
+
+	opts := staging.Options{Manifest: manifest}
+	mustStageIn(t, c, src, "/job", opts)
+
+	// Pass 1: nothing changed — everything skips, zero bytes move.
+	inc := staging.Options{Manifest: manifest, Incremental: true}
+	before := sumStats(daemons)
+	rep := mustStageOut(t, c, "/job", src, inc)
+	if rep.Files != 0 || rep.Bytes != 0 {
+		t.Fatalf("unmodified tree moved %d files (%d bytes), want 0", rep.Files, rep.Bytes)
+	}
+	if rep.Skipped != 3 {
+		t.Fatalf("skipped = %d, want 3", rep.Skipped)
+	}
+	if st := sumStats(daemons); st.ReadBytes != before.ReadBytes {
+		t.Fatalf("incremental skip still read %d chunk bytes", st.ReadBytes-before.ReadBytes)
+	}
+
+	// Modify one file in the cluster; only it should move.
+	fd, err := c.Open("/job/sub/b.dat", client.O_WRONLY)
+	if err != nil {
+		t.Fatal(err)
+	}
+	update := patterned(32<<10, 12)
+	if _, err := c.WriteAt(fd, update, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(fd); err != nil {
+		t.Fatal(err)
+	}
+	rep = mustStageOut(t, c, "/job", src, inc)
+	if rep.Files != 1 || rep.Skipped != 2 {
+		t.Fatalf("after modification: moved=%d skipped=%d, want 1 and 2", rep.Files, rep.Skipped)
+	}
+	if rep.Bytes != 32<<10 {
+		t.Fatalf("moved %d bytes, want %d", rep.Bytes, 32<<10)
+	}
+	got, err := os.ReadFile(filepath.Join(src, "sub", "b.dat"))
+	if err != nil || !bytes.Equal(got, update) {
+		t.Fatalf("modified file not refreshed on host: %v", err)
+	}
+
+	// Pass 3: the rewritten manifest covers the refreshed file too.
+	rep = mustStageOut(t, c, "/job", src, inc)
+	if rep.Files != 0 || rep.Skipped != 3 {
+		t.Fatalf("repeat pass: moved=%d skipped=%d, want 0 and 3", rep.Files, rep.Skipped)
+	}
+}
+
+// TestIncrementalNeedsManifest pins the structural error.
+func TestIncrementalNeedsManifest(t *testing.T) {
+	c, _ := newStageCluster(t, 1, client.Config{})
+	if _, err := staging.StageOut(c, "/", t.TempDir(), staging.Options{Incremental: true}); err == nil {
+		t.Fatal("incremental stage-out without a manifest accepted")
+	}
+}
+
+// TestManifestRoundTrip exercises the codec, including paths with
+// spaces, and rejects traversal and garbage.
+func TestManifestRoundTrip(t *testing.T) {
+	m := staging.NewManifest()
+	m.Put(staging.Entry{Rel: "sub dir/file with spaces.txt", Size: 42, Hash: "abcd", MTimeNS: 7})
+	m.Put(staging.Entry{Rel: "sub dir", Dir: true, MTimeNS: 6})
+	m.Put(staging.Entry{Rel: "plain", Size: 0, Hash: "ef01", MTimeNS: 9})
+	var buf bytes.Buffer
+	if err := m.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := staging.DecodeManifest(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 3 {
+		t.Fatalf("decoded %d entries, want 3", got.Len())
+	}
+	e, ok := got.Get("sub dir/file with spaces.txt")
+	if !ok || e.Size != 42 || e.Hash != "abcd" || e.MTimeNS != 7 || e.Dir {
+		t.Fatalf("entry = %+v", e)
+	}
+	if e, ok := got.Get("sub dir"); !ok || !e.Dir {
+		t.Fatalf("dir entry = %+v, ok=%v", e, ok)
+	}
+
+	for _, bad := range []string{
+		"",
+		"not-a-manifest\n",
+		"gekkofs-stage-manifest v1\nf x abcd 0 p\n",
+		"gekkofs-stage-manifest v1\nf 1 abcd 0 ../escape\n",
+		"gekkofs-stage-manifest v1\nf 1 abcd 0 /abs\n",
+		"gekkofs-stage-manifest v1\nz 1 abcd 0 p\n",
+		"gekkofs-stage-manifest v1\nf 1 abcd\n",
+	} {
+		if _, err := staging.DecodeManifest(strings.NewReader(bad)); err == nil {
+			t.Fatalf("malformed manifest accepted: %q", bad)
+		}
+	}
+}
+
+// TestManifestRejectsLineBreaks covers both sides: Encode refuses an
+// injected entry, and a manifest-recording stage-in fails a
+// newline-bearing filename up front instead of corrupting the manifest.
+func TestManifestRejectsLineBreaks(t *testing.T) {
+	m := staging.NewManifest()
+	m.Put(staging.Entry{Rel: "a\nf 0 deadbeef 9 victim", Size: 1, Hash: "ab"})
+	if err := m.Encode(&bytes.Buffer{}); err == nil {
+		t.Fatal("newline-bearing rel encoded")
+	}
+
+	c, _ := newStageCluster(t, 2, client.Config{})
+	src := t.TempDir()
+	writeHostFile(t, filepath.Join(src, "ok.txt"), []byte("fine"))
+	if err := os.WriteFile(filepath.Join(src, "bad\nname"), []byte("x"), 0o666); err != nil {
+		t.Skipf("filesystem rejects newline names: %v", err)
+	}
+	manifest := filepath.Join(t.TempDir(), "m.txt")
+	rep, err := staging.StageIn(c, src, "/job", staging.Options{Manifest: manifest})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed != 1 || rep.Files != 1 {
+		t.Fatalf("report = %d moved, %d failed; want 1 and 1", rep.Files, rep.Failed)
+	}
+	if _, err := staging.LoadManifest(manifest); err != nil {
+		t.Fatalf("manifest corrupted by newline name: %v", err)
+	}
+}
+
+// TestStageOutDaemonDownIsLoud kills a daemon between stage-in and
+// stage-out: teardown must report the failure, never a clean transfer
+// that quietly lost result data.
+func TestStageOutDaemonDownIsLoud(t *testing.T) {
+	c, daemons := newStageCluster(t, 4, client.Config{ChunkSize: 64 << 10})
+	src := t.TempDir()
+	manifest := filepath.Join(t.TempDir(), "m.txt")
+	for i := 0; i < 8; i++ {
+		writeHostFile(t, filepath.Join(src, fmt.Sprintf("f%d.dat", i)), patterned(8<<10, int64(i)))
+	}
+	mustStageIn(t, c, src, "/job", staging.Options{Manifest: manifest})
+	daemons[2].Close()
+	rep, _ := staging.StageOut(c, "/job", t.TempDir(),
+		staging.Options{Manifest: manifest, Incremental: true})
+	if rep.Err() == nil {
+		t.Fatal("stage-out with a dead daemon reported a clean transfer")
+	}
+}
+
+// TestStageInUnsupportedType records symlinks as failures without
+// aborting the transfer.
+func TestStageInUnsupportedType(t *testing.T) {
+	c, _ := newStageCluster(t, 2, client.Config{})
+	src := t.TempDir()
+	writeHostFile(t, filepath.Join(src, "real.txt"), []byte("data"))
+	if err := os.Symlink("real.txt", filepath.Join(src, "link")); err != nil {
+		t.Skipf("symlinks unavailable: %v", err)
+	}
+	rep, err := staging.StageIn(c, src, "/job", staging.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Unsupported != 1 || rep.Files != 1 || rep.Failed != 0 {
+		t.Fatalf("report: %s", rep.Summary())
+	}
+	// A tree whose data all moved is a clean transfer: unsupported
+	// entries are notes, not errors.
+	if err := rep.Err(); err != nil {
+		t.Fatalf("unsupported entry failed the transfer: %v", err)
+	}
+	if len(rep.Notes) != 1 || !strings.Contains(rep.Notes[0], "link") {
+		t.Fatalf("notes = %q", rep.Notes)
+	}
+}
