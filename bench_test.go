@@ -13,6 +13,7 @@ package repro
 
 import (
 	"fmt"
+	"io"
 	"math/rand"
 	"net"
 	"os"
@@ -492,6 +493,70 @@ func BenchmarkAsyncWriteStream(b *testing.B) {
 			}
 			if err := c.Fsync(fd); err != nil {
 				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// BenchmarkAsyncReadStream is the read mirror of
+// BenchmarkAsyncWriteStream: a single reader streaming sequentially over
+// real TCP sockets from a 4-daemon cluster, synchronous protocol versus
+// the read-ahead pipeline at growing window depths. Reads are 16 KiB
+// against 64 KiB chunks — the buffered-consumer shape (cp, grep, a
+// parser) where the synchronous protocol pays one full RPC round trip
+// per small read and is round-trip-bound, exactly the regime the
+// pipeline exists for: speculation aggregates the stream into chunk-span
+// fetches (one RPC wave per 4 chunks instead of one per 16 KiB) and
+// keeps ReadWindow of them in flight while the consumer drains the
+// cache. The cache is sized below the 16 MiB working set, so every lap
+// refetches over the wire — the numbers measure the pipeline, not
+// resident-cache hits (those run several times faster again).
+func BenchmarkAsyncReadStream(b *testing.B) {
+	const (
+		nodes   = 4
+		ioSize  = 16 << 10
+		chunkSz = 64 << 10
+		laps    = 1024                 // ops per lap of the extent
+		extent  = int64(laps) * ioSize // 16 MiB
+	)
+	for _, window := range []int{0, 4, 16} {
+		name := "sync"
+		if window > 0 {
+			name = fmt.Sprintf("window-%d", window)
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := client.Config{ChunkSize: chunkSz}
+			if window > 0 {
+				cfg.ReadAhead = true
+				cfg.ReadWindow = window
+				cfg.CacheBytes = 8 << 20
+			}
+			c := tcpCluster(b, nodes, 4, cfg)
+			fd, err := c.Create("/stream")
+			if err != nil {
+				b.Fatal(err)
+			}
+			buf := make([]byte, ioSize)
+			for off := int64(0); off < extent; off += ioSize {
+				if _, err := c.WriteAt(fd, buf, off); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := c.Close(fd); err != nil {
+				b.Fatal(err)
+			}
+			fd, err = c.Open("/stream", client.O_RDONLY)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(ioSize)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// Sequential laps over the bounded extent; the wrap resets
+				// the detector once per lap, exactly like a new file would.
+				if _, err := c.ReadAt(fd, buf, int64(i%laps)*ioSize); err != nil && err != io.EOF {
+					b.Fatal(err)
+				}
 			}
 		})
 	}

@@ -7,12 +7,14 @@
 //	gkfs-bench -mode ior -nodes 4 -workers 8 -block 64MiB -transfer 1MiB
 //	gkfs-bench -mode ior -daemons host1:7777,host2:7777 -workers 16 ...
 //	gkfs-bench -mode stage -nodes 4 -stage-large 256MiB -files 2000
+//	gkfs-bench -mode read -daemons ... -workers 1 -block 64MiB -transfer 256KiB
 package main
 
 import (
 	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	iofs "io/fs"
 	"log"
 	"math/rand"
@@ -20,6 +22,7 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/client"
@@ -51,7 +54,7 @@ func parseSize(s string) (int64, error) {
 }
 
 func main() {
-	mode := flag.String("mode", "mdtest", "workload: mdtest | ior | stage")
+	mode := flag.String("mode", "mdtest", "workload: mdtest | ior | stage | read")
 	daemons := flag.String("daemons", "", "existing TCP deployment (comma-separated); empty = in-process cluster")
 	nodes := flag.Int("nodes", 4, "in-process cluster node count")
 	chunkFlag := flag.String("chunk", "512KiB", "chunk size")
@@ -64,6 +67,9 @@ func main() {
 	sizeCache := flag.Int("size-cache", 0, "client size-update cache (ops per flush; 0 = off)")
 	async := flag.Bool("async", false, "write-behind pipeline: writes return immediately, Fsync/Close are barriers")
 	window := flag.Int("window", 0, "async: in-flight chunk-RPC window per descriptor (0 = default)")
+	readahead := flag.Bool("readahead", false, "sequential read-ahead pipeline: prefetch the next chunks into a bounded window")
+	readwindow := flag.Int("readwindow", 0, "readahead: in-flight prefetch span fetches per descriptor, 4 chunks each (0 = default)")
+	cacheFlag := flag.String("cachebytes", "0", "client chunk cache size (0 = default when read-ahead is on)")
 	connsN := flag.Int("conns", 1, "striped transport connections per daemon")
 	distName := flag.String("distributor", "simplehash", "placement pattern: simplehash | guided-first-chunk")
 	batch := flag.Int("batch", 0, "mdtest: ops per batched metadata RPC (0/1 = per-op protocol)")
@@ -79,12 +85,28 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	cacheBytes, err := parseSize(*cacheFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *mode == "read" {
+		// The sweep owns these knobs: its baseline pass must run on a
+		// genuinely plain client (no speculation, no cache), and its
+		// read-ahead pass forces the pipeline per descriptor
+		// (-readwindow is still honored).
+		if *readahead || cacheBytes > 0 {
+			fmt.Fprintln(os.Stderr, "gkfs-bench: -mode read ignores -readahead/-cachebytes (the sweep compares plain vs read-ahead descriptors itself)")
+		}
+		*readahead = false
+		cacheBytes = 0
+	}
 
 	var factory workload.ClientFactory
 	if *daemons == "" {
 		cluster, err := core.NewCluster(core.Config{
 			Nodes: *nodes, ChunkSize: chunk, SizeCacheOps: *sizeCache, Conns: *connsN,
 			AsyncWrites: *async, WriteWindow: *window,
+			ReadAhead: *readahead, ReadWindow: *readwindow, CacheBytes: cacheBytes,
 			Distributor: *distName, DataDir: *dataDir, SyncWAL: *syncWAL,
 		})
 		if err != nil {
@@ -112,6 +134,7 @@ func main() {
 			c, err := client.New(client.Config{
 				Conns: conns, Dist: dist, ChunkSize: chunk, SizeCacheOps: *sizeCache,
 				AsyncWrites: *async, WriteWindow: *window,
+				ReadAhead: *readahead, ReadWindow: *readwindow, CacheBytes: cacheBytes,
 			})
 			if err != nil {
 				return nil, err
@@ -181,6 +204,20 @@ func main() {
 		if err := runStage(factory, stageConfig{
 			Src: *stageSrc, LargeBytes: large, SmallBytes: small,
 			SmallFiles: *files, Workers: *workers, Verify: *verify,
+		}); err != nil {
+			log.Fatalf("gkfs-bench: %v", err)
+		}
+	case "read":
+		block, err := parseSize(*blockFlag)
+		if err != nil {
+			log.Fatal(err)
+		}
+		transfer, err := parseSize(*transferFlag)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := runReadSweep(factory, readSweepConfig{
+			Workers: *workers, BlockBytes: block, TransferBytes: transfer,
 		}); err != nil {
 			log.Fatalf("gkfs-bench: %v", err)
 		}
@@ -320,6 +357,107 @@ func generateStageTree(dir string, largeBytes, smallBytes int64, smallFiles int)
 	total += largeBytes/2 + int64(len(tail))
 	files++
 	return total, files, nil
+}
+
+// readSweepConfig shapes the sequential-read sweep: each worker streams
+// its own BlockBytes file in TransferBytes reads, once through plain
+// descriptors (the synchronous fan-out baseline) and once through
+// read-ahead descriptors (the prefetch pipeline).
+type readSweepConfig struct {
+	Workers       int
+	BlockBytes    int64
+	TransferBytes int64
+}
+
+// runReadSweep writes one file per worker and pass, then measures
+// aggregate sequential read throughput for the baseline and read-ahead
+// passes. The client is always built without ReadAhead/CacheBytes (main
+// clears the flags for this mode), so the baseline pass is the true
+// synchronous protocol; the read-ahead pass forces the pipeline per
+// descriptor via OpenReadAhead. Separate files per pass keep the
+// comparison honest: the read-ahead pass never profits from blocks the
+// baseline deposited in the chunk cache.
+func runReadSweep(factory workload.ClientFactory, cfg readSweepConfig) error {
+	c, err := factory()
+	if err != nil {
+		return err
+	}
+	passes := []struct {
+		name string
+		open func(path string) (int, error)
+	}{
+		{"sync     ", func(p string) (int, error) { return c.Open(p, client.O_RDONLY) }},
+		{"readahead", func(p string) (int, error) { return c.OpenReadAhead(p, client.O_RDONLY) }},
+	}
+
+	// Populate: one file per worker per pass, written sequentially.
+	src := make([]byte, 1<<20)
+	rand.New(rand.NewSource(42)).Read(src)
+	for pi := range passes {
+		for w := 0; w < cfg.Workers; w++ {
+			fd, err := c.Open(fmt.Sprintf("/read-bench/p%d.w%d", pi, w), client.O_WRONLY|client.O_CREATE|client.O_TRUNC)
+			if err != nil {
+				return err
+			}
+			for off := int64(0); off < cfg.BlockBytes; off += int64(len(src)) {
+				n := min(int64(len(src)), cfg.BlockBytes-off)
+				if _, err := c.WriteAt(fd, src[:n], off); err != nil {
+					return err
+				}
+			}
+			if err := c.Close(fd); err != nil {
+				return err
+			}
+		}
+	}
+
+	fmt.Printf("read: %d workers x %d bytes, %d-byte sequential reads\n",
+		cfg.Workers, cfg.BlockBytes, cfg.TransferBytes)
+	rates := make([]float64, len(passes))
+	for pi, pass := range passes {
+		var wg sync.WaitGroup
+		errs := make([]error, cfg.Workers)
+		begin := time.Now()
+		for w := 0; w < cfg.Workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				fd, err := pass.open(fmt.Sprintf("/read-bench/p%d.w%d", pi, w))
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				defer c.Close(fd)
+				buf := make([]byte, cfg.TransferBytes)
+				var total int64
+				for {
+					n, rerr := c.Read(fd, buf)
+					total += int64(n)
+					if rerr == io.EOF {
+						break
+					}
+					if rerr != nil {
+						errs[w] = rerr
+						return
+					}
+				}
+				if total != cfg.BlockBytes {
+					errs[w] = fmt.Errorf("worker %d read %d bytes, want %d", w, total, cfg.BlockBytes)
+				}
+			}(w)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+		el := time.Since(begin)
+		rates[pi] = float64(cfg.BlockBytes) * float64(cfg.Workers) / (1 << 20) / el.Seconds()
+		fmt.Printf("  %s %10.1f MiB/s\n", pass.name, rates[pi])
+	}
+	fmt.Printf("  speedup   %10.2fx\n", rates[1]/rates[0])
+	return nil
 }
 
 // compareTrees byte-compares every regular file under a against its

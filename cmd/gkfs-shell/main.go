@@ -40,6 +40,9 @@ func main() {
 	connsN := flag.Int("conns", 1, "striped transport connections per daemon")
 	async := flag.Bool("async", false, "write-behind pipeline for put: writes return immediately, close is the barrier")
 	window := flag.Int("window", 0, "async: in-flight chunk-RPC window per descriptor (0 = default)")
+	readahead := flag.Bool("readahead", false, "sequential read-ahead for get/cat/stage-out: prefetch the next chunks into a bounded window")
+	readwindow := flag.Int("readwindow", 0, "readahead: in-flight prefetch span fetches per descriptor, 4 chunks each (0 = default)")
+	cachebytes := flag.Int64("cachebytes", 0, "client chunk cache in bytes (0 = default when read-ahead is on); re-reads of cached chunks move zero wire bytes")
 	distName := flag.String("distributor", "simplehash", "placement pattern: simplehash | guided-first-chunk (must match the deployment's other clients)")
 	stageWorkers := flag.Int("stage-workers", 0, "stage-in/stage-out: parallel file transfers (0 = default)")
 	manifest := flag.String("manifest", "", "stage-in/stage-out: staging manifest file on the local side")
@@ -67,6 +70,7 @@ func main() {
 	c, err := client.New(client.Config{
 		Conns: conns, Dist: dist, ChunkSize: *chunk,
 		AsyncWrites: *async, WriteWindow: *window,
+		ReadAhead: *readahead, ReadWindow: *readwindow, CacheBytes: *cachebytes,
 	})
 	if err != nil {
 		fatal("%v", err)
@@ -222,21 +226,33 @@ func main() {
 			fatal("stats: %v", err)
 		}
 		var total proto.DaemonStats
-		fmt.Printf("%-6s %10s %10s %10s %10s %10s %10s %12s %12s %10s %10s %10s\n",
+		fmt.Printf("%-6s %10s %10s %10s %10s %10s %10s %12s %12s %10s %12s %10s %10s %10s\n",
 			"daemon", "creates", "stats", "removes", "sizeupd", "writes", "reads",
-			"bytes-in", "bytes-out", "readdirs", "batchrpcs", "batchops")
+			"bytes-in", "bytes-out", "rspans", "pushed", "readdirs", "batchrpcs", "batchops")
 		for i, st := range sts {
 			total.Add(st)
-			fmt.Printf("%-6d %10d %10d %10d %10d %10d %10d %12d %12d %10d %10d %10d\n",
+			fmt.Printf("%-6d %10d %10d %10d %10d %10d %10d %12d %12d %10d %12d %10d %10d %10d\n",
 				i, st.Creates, st.StatOps, st.Removes, st.SizeUpdates, st.WriteOps, st.ReadOps,
-				st.WriteBytes, st.ReadBytes, st.ReadDirs, st.BatchRPCs, st.BatchedOps)
+				st.WriteBytes, st.ReadBytes, st.ReadSpans, st.ReadBytesPushed,
+				st.ReadDirs, st.BatchRPCs, st.BatchedOps)
 		}
-		fmt.Printf("%-6s %10d %10d %10d %10d %10d %10d %12d %12d %10d %10d %10d\n",
+		fmt.Printf("%-6s %10d %10d %10d %10d %10d %10d %12d %12d %10d %12d %10d %10d %10d\n",
 			"total", total.Creates, total.StatOps, total.Removes, total.SizeUpdates,
 			total.WriteOps, total.ReadOps, total.WriteBytes, total.ReadBytes,
+			total.ReadSpans, total.ReadBytesPushed,
 			total.ReadDirs, total.BatchRPCs, total.BatchedOps)
 		fmt.Printf("rpcs: meta=%d chunk=%d batched-ops=%d\n",
 			total.MetaRPCs(), total.WriteOps+total.ReadOps, total.BatchedOps)
+		if total.ReadOps > 0 {
+			// Wire-read efficiency: spans per read RPC rises with the
+			// prefetch window; bytes-out vs pushed exposes holes and
+			// EOF probes that moved nothing. Chunk-cache hits never
+			// reach a daemon at all — compare the client's logical read
+			// volume against bytes-out to see the hit rate.
+			fmt.Printf("read path: %.2f spans/rpc, %d of %d span bytes pushed\n",
+				float64(total.ReadSpans)/float64(total.ReadOps),
+				total.ReadBytesPushed, total.ReadBytes)
+		}
 	default:
 		usage()
 	}
@@ -262,7 +278,8 @@ commands:
   stage-in <localdir> <remotedir>   parallel-copy a directory tree in
   stage-out <remotedir> <localdir>  parallel-copy a directory tree out
   stats                print per-daemon operation counters
-staging flags: -stage-workers n, -manifest file, -incremental`)
+staging flags: -stage-workers n, -manifest file, -incremental
+read flags:    -readahead, -readwindow n, -cachebytes n`)
 	os.Exit(2)
 }
 

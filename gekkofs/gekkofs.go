@@ -138,6 +138,36 @@ func WithAsyncWrites(window int) Option {
 	}
 }
 
+// WithReadAhead enables the sequential read-ahead pipeline, the read
+// mirror of WithAsyncWrites: once a File's reads are sequential (each
+// starting where the previous ended), the client speculatively fetches
+// the next chunk-sized blocks into a bounded per-descriptor in-flight
+// window (depth `window` span fetches; 0 selects the default of 4) and serves
+// subsequent reads from the chunk cache — a single reader overlaps
+// transfers from every daemon instead of blocking a full RPC fan-out
+// per call. Random access never speculates. Implies a chunk cache
+// (WithChunkCache sizes it; 32 MiB otherwise). Caveat shared with every
+// client cache: another client's concurrent write to a cached block may
+// not be observed until this client writes the file itself or the block
+// ages out — GekkoFS already leaves concurrent conflicting I/O
+// undefined (paper §III-A).
+func WithReadAhead(window int) Option {
+	return func(c *core.Config) {
+		c.ReadAhead = true
+		c.ReadWindow = window
+	}
+}
+
+// WithChunkCache bounds the client-side chunk cache at `bytes` (LRU over
+// pooled buffers). Any positive value enables caching even without
+// WithReadAhead: demand reads deposit the chunk-aligned blocks they
+// cover, so re-reading cached data moves zero wire bytes. The cache is
+// invalidated by this client's own writes, truncates and removes; see
+// WithReadAhead for the cross-client staleness caveat.
+func WithChunkCache(bytes int64) Option {
+	return func(c *core.Config) { c.CacheBytes = bytes }
+}
+
 // WithStageIn copies the directory tree under hostDir into the namespace
 // at fsDir as part of New — the job's input data arrives with the
 // deployment (the stage-in half of the temporary-FS lifecycle). Stage

@@ -8,9 +8,10 @@
 //     (no central placement tables),
 //   - reads and writes are split into chunk spans and issued as parallel
 //     RPCs to the owning daemons, with data in bulk regions,
-//   - operations are synchronous and cache-less; the single exception is
-//     the opt-in size-update cache the paper adds to fix the shared-file
-//     bottleneck (§IV-B),
+//   - operations are synchronous and cache-less by default; the opt-in
+//     exceptions are the paper's size-update cache for the shared-file
+//     bottleneck (§IV-B), the write-behind pipeline (pipeline.go) and
+//     the read-ahead pipeline with its chunk cache (readahead.go),
 //   - rename, links and permissions are unsupported (§III-A).
 package client
 
@@ -71,6 +72,22 @@ type Config struct {
 	// WriteWindow bounds in-flight chunk-write RPCs per descriptor when
 	// AsyncWrites is on. Zero selects DefaultWriteWindow.
 	WriteWindow int
+	// ReadAhead enables the sequential read-ahead pipeline on every
+	// read-capable descriptor: once a descriptor's reads are sequential,
+	// the next chunk-sized blocks are speculatively fetched into a
+	// bounded in-flight window and served from the chunk cache (see
+	// readahead.go). OpenReadAhead enables it per descriptor regardless.
+	ReadAhead bool
+	// ReadWindow bounds in-flight prefetch span fetches per descriptor
+	// when read-ahead is on (each fetch covers up to prefetchSpanChunks
+	// chunks in one RPC wave). Zero selects DefaultReadWindow.
+	ReadWindow int
+	// CacheBytes bounds the client-side chunk cache (LRU over pooled
+	// buffers). Any positive value enables the cache even without
+	// ReadAhead — demand reads deposit the blocks they cover, so
+	// re-reads of cached data move zero wire bytes. Zero sizes the cache
+	// at DefaultCacheBytes if and when read-ahead needs it.
+	CacheBytes int64
 }
 
 // Client is one application's view of the file system.
@@ -81,7 +98,16 @@ type Client struct {
 	sizeCacheOps int
 	asyncWrites  bool
 	writeWindow  int
+	readAhead    bool
+	readWindow   int
+	cacheBytes   int64
 	readDirPage  uint32 // entries requested per OpReadDir page
+
+	// cache is the chunk cache (readahead.go), created eagerly when the
+	// configuration asks for one and lazily by the first OpenReadAhead
+	// otherwise; nil means no caching anywhere on the read path.
+	cache     atomic.Pointer[chunkCache]
+	cacheInit sync.Mutex
 
 	mu     sync.Mutex
 	files  map[int]*openFile
@@ -107,6 +133,11 @@ type openFile struct {
 	// by mu.
 	pl        *pipeline
 	sizeDirty bool
+
+	// Read-ahead state (active when the client or this open enabled it):
+	// the sequential-access detector and the prefetch window. Owns its
+	// own lock — ReadAt runs off the descriptor lock.
+	ra *readahead
 }
 
 // sizeFloor returns the best known lower bound for the file size: the
@@ -142,17 +173,30 @@ func New(cfg Config) (*Client, error) {
 	if cfg.WriteWindow < 0 {
 		return nil, fmt.Errorf("client: invalid write window %d", cfg.WriteWindow)
 	}
-	return &Client{
+	if cfg.ReadWindow < 0 {
+		return nil, fmt.Errorf("client: invalid read window %d", cfg.ReadWindow)
+	}
+	if cfg.CacheBytes < 0 {
+		return nil, fmt.Errorf("client: invalid cache size %d", cfg.CacheBytes)
+	}
+	c := &Client{
 		conns:        cfg.Conns,
 		dist:         cfg.Dist,
 		chunkSize:    cfg.ChunkSize,
 		sizeCacheOps: cfg.SizeCacheOps,
 		asyncWrites:  cfg.AsyncWrites,
 		writeWindow:  cfg.WriteWindow,
+		readAhead:    cfg.ReadAhead,
+		readWindow:   cfg.ReadWindow,
+		cacheBytes:   cfg.CacheBytes,
 		readDirPage:  proto.DefaultReadDirPage,
 		files:        make(map[int]*openFile),
 		nextFD:       3,
-	}, nil
+	}
+	if cfg.ReadAhead || cfg.CacheBytes > 0 {
+		c.cache.Store(newChunkCache(cfg.CacheBytes))
+	}
+	return c, nil
 }
 
 // ChunkSize returns the configured chunk size.
@@ -265,6 +309,20 @@ func (c *Client) MkdirAll(path string) error {
 // from the client-side file map. Directories cannot be opened; GekkoFS
 // applications list them via ReadDir.
 func (c *Client) Open(path string, flags int) (int, error) {
+	return c.open(path, flags, c.readAhead)
+}
+
+// OpenReadAhead opens path like Open but with the sequential read-ahead
+// pipeline enabled on the returned descriptor even when the client was
+// configured without Config.ReadAhead, creating the chunk cache on first
+// use. Staging's stage-out workers use it: their reads are sequential by
+// construction, so the prefetch window converts the read fan-out's
+// round-trip latency into pipelined throughput.
+func (c *Client) OpenReadAhead(path string, flags int) (int, error) {
+	return c.open(path, flags, true)
+}
+
+func (c *Client) open(path string, flags int, readAhead bool) (int, error) {
 	p, err := meta.Clean(path)
 	if err != nil {
 		return -1, err
@@ -310,14 +368,31 @@ func (c *Client) Open(path string, flags int) (int, error) {
 		}
 	}
 
+	of := &openFile{path: p, flags: flags}
+	if c.asyncWrites && accMode != O_RDONLY {
+		of.pl = newPipeline(c.writeWindow)
+		// A latched write failure leaves the failed byte ranges
+		// undefined; a cached pre-write image must not paper over that.
+		of.pl.onFail = func() { c.cacheDropPath(p) }
+	}
+	if readAhead && accMode != O_WRONLY {
+		cc := c.ensureCache()
+		// The in-flight window must fit comfortably inside the cache:
+		// reservations beyond it would force the eviction scan to shed
+		// blocks the reader has not consumed yet — prefetching ahead of
+		// what the cache can hold is pure thrash.
+		span := c.chunkSize * prefetchSpanChunks
+		maxWindow := max(1, int(cc.cap/(2*span)))
+		window := c.readWindow
+		if window <= 0 {
+			window = DefaultReadWindow
+		}
+		of.ra = newReadahead(min(window, maxWindow))
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	fd := c.nextFD
 	c.nextFD++
-	of := &openFile{path: p, flags: flags}
-	if c.asyncWrites && accMode != O_RDONLY {
-		of.pl = newPipeline(c.writeWindow)
-	}
 	c.files[fd] = of
 	return fd, nil
 }
@@ -615,6 +690,9 @@ func (c *Client) Remove(path string) error {
 	} else if err != nil {
 		return err
 	}
+	// The path no longer names this file: cached blocks (including EOF
+	// markers) must not survive into a future file of the same name.
+	c.cacheDropPath(p)
 	if size > 0 {
 		return c.collectChunks([]string{p})
 	}
@@ -708,10 +786,15 @@ func (c *Client) Truncate(path string, size int64) error {
 	c.mu.Unlock()
 	te := rpc.NewEnc(len(p) + 12)
 	te.Str(p).I64(size)
-	return c.fanOut(func(node int) error {
+	err = c.fanOut(func(node int) error {
 		_, err := c.call(node, proto.OpTruncateChunks, te.Bytes(), nil, rpc.BulkNone)
 		return err
 	})
+	// Prefetched and cached spans describe the pre-truncate file; drop
+	// them all (cheap, and truncate is rare on hot read paths). In-flight
+	// prefetches are poisoned too — their data may predate the discard.
+	c.cacheDropPath(p)
+	return err
 }
 
 // notSupported wraps proto.ErrNotSupported in a *fs.PathError naming the

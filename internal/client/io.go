@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/meta"
@@ -148,10 +149,13 @@ func (c *Client) writeSpansLocked(of *openFile, p []byte, off int64) error {
 
 // writeGroups pushes p's chunk spans for [off, off+len(p)) synchronously,
 // one RPC per owning daemon in parallel — the shared sync write core of
-// descriptor writes and WritePath.
+// descriptor writes and WritePath. Cached chunk blocks overlapping the
+// range are invalidated after the RPCs settle (on failure too: the
+// affected ranges are undefined and a cached pre-write image must not
+// mask that).
 func (c *Client) writeGroups(path string, p []byte, off int64) error {
 	groups := c.groupByTarget(path, off, int64(len(p)))
-	return runGroups(groups, func(node int, g *targetGroup) error {
+	err := runGroups(groups, func(node int, g *targetGroup) error {
 		payload, bulk := encodeWrite(path, g, p)
 		d, err := c.call(node, proto.OpWriteChunks, payload, bulk, rpc.BulkIn)
 		rpc.PutBuf(bulk)
@@ -160,6 +164,8 @@ func (c *Client) writeGroups(path string, p []byte, off int64) error {
 		}
 		return checkWritten(d, g.bytes)
 	})
+	c.cacheInvalidate(path, off, off+int64(len(p)))
+	return err
 }
 
 // encodeWrite builds one write RPC's payload and its concatenated bulk
@@ -210,6 +216,8 @@ func (c *Client) enqueueSpansLocked(of *openFile, p []byte, off int64) error {
 	}
 	groups := c.groupByTarget(of.path, off, int64(len(p)))
 	r := of.pl.addRange(off, end, len(groups))
+	var remaining atomic.Int32
+	remaining.Store(int32(len(groups)))
 	for node, g := range groups {
 		payload, bulk := encodeWrite(of.path, g, p)
 		// Blocking on a window slot is the pipeline's backpressure; slots
@@ -225,6 +233,14 @@ func (c *Client) enqueueSpansLocked(of *openFile, p []byte, off int64) error {
 			}()
 			d, err := c.call(node, proto.OpWriteChunks, payload, bulk, rpc.BulkIn)
 			rpc.PutBuf(bulk)
+			// Invalidate once the whole write has settled on the daemons
+			// (last group to retire): a chunk-cache block — or in-flight
+			// prefetch — fetched before this point may predate the write
+			// and must not serve. One invalidation per write, not per
+			// group.
+			if remaining.Add(-1) == 0 {
+				c.cacheInvalidate(of.path, off, end)
+			}
 			if err != nil {
 				of.pl.latch(err)
 				return
@@ -351,6 +367,10 @@ func (c *Client) sendGrow(path string, candidate int64) error {
 	e := rpc.NewEnc(len(path) + 24)
 	e.Str(path).I64(candidate).U8(0).I64(time.Now().UnixNano())
 	_, err := c.call(c.dist.MetaTarget(path), proto.OpUpdateSize, e.Bytes(), nil, rpc.BulkNone)
+	// The file end may have moved: cached blocks carrying an EOF mark
+	// would otherwise keep serving the old end as a spurious EOF.
+	// Zero-length invalidation drops exactly the EOF-bearing blocks.
+	c.cacheInvalidate(path, 0, 0)
 	return err
 }
 
@@ -358,8 +378,11 @@ func (c *Client) sendGrow(path string, candidate int64) error {
 // position. It returns io.EOF when fewer than len(p) bytes lie below the
 // file's current size, after the fashion of io.ReaderAt. Under
 // AsyncWrites the descriptor's in-flight window is drained first
-// (program-order read-after-write); concurrent ReadAts then proceed in
-// parallel, off the descriptor lock.
+// (program-order read-after-write) and a latched write failure surfaces
+// here, exactly once — the bytes a failed write covered are undefined,
+// so handing them to a reader without the error would be silent
+// corruption. Concurrent ReadAts then proceed in parallel, off the
+// descriptor lock.
 func (c *Client) ReadAt(fd int, p []byte, off int64) (int, error) {
 	of, err := c.lookupFD(fd)
 	if err != nil {
@@ -377,12 +400,18 @@ func (c *Client) ReadAt(fd int, p []byte, off int64) (int, error) {
 		// overlap on the wire.
 		of.mu.Lock()
 		of.pl.drain()
+		werr := of.pl.takeErr()
 		of.mu.Unlock()
+		if werr != nil {
+			return 0, werr
+		}
 	}
-	return c.readSpans(of, p, off)
+	return c.readThrough(of, p, off)
 }
 
-// Read reads from the descriptor position and advances it.
+// Read reads from the descriptor position and advances it. Like ReadAt
+// it drains the write-behind window and surfaces a latched write error
+// before touching the wire or the cache.
 func (c *Client) Read(fd int, p []byte) (int, error) {
 	of, err := c.lookupFD(fd)
 	if err != nil {
@@ -395,8 +424,11 @@ func (c *Client) Read(fd int, p []byte) (int, error) {
 	defer of.mu.Unlock()
 	if of.pl != nil {
 		of.pl.drain()
+		if werr := of.pl.takeErr(); werr != nil {
+			return 0, werr
+		}
 	}
-	n, err := c.readSpans(of, p, of.pos)
+	n, err := c.readThrough(of, p, of.pos)
 	of.pos += int64(n)
 	return n, err
 }

@@ -16,7 +16,9 @@ import (
 //     a fast producer cannot buffer unbounded data),
 //   - completions retire asynchronously; the first failure latches on the
 //     descriptor and surfaces exactly once, on the next Write/WriteAt,
-//     Fsync or Close,
+//     Read/ReadAt, Fsync or Close (whichever touches the descriptor
+//     first — a reader must not consume bytes whose producing writes
+//     already failed under it),
 //   - Fsync and Close are true barriers: they drain the window and then
 //     flush the descriptor's cached size candidate, so after either
 //     returns nil all acknowledged data is stored and visible,
@@ -44,6 +46,11 @@ type pipeline struct {
 	// wg tracks outstanding RPCs. Add happens under of.mu, so a barrier
 	// holding of.mu can Wait without racing a concurrent Add.
 	wg sync.WaitGroup
+	// onFail, when set, runs once when the first failure latches — the
+	// hook that drops the descriptor path's chunk-cache blocks (a failed
+	// write leaves its ranges undefined; a cached pre-write image must
+	// not mask that). Set at open time, before any enqueue.
+	onFail func()
 
 	mu     sync.Mutex
 	err    error       // first completion failure, latched until surfaced
@@ -114,14 +121,20 @@ func (pl *pipeline) latch(err error) {
 		return
 	}
 	pl.mu.Lock()
-	if pl.err == nil {
+	first := pl.err == nil
+	if first {
 		pl.err = err
 	}
+	onFail := pl.onFail
 	pl.mu.Unlock()
+	if first && onFail != nil {
+		onFail()
+	}
 }
 
 // takeErr returns the latched error and clears it, so a failure is
-// surfaced to the application exactly once.
+// surfaced to the application exactly once — on the next write, read,
+// or barrier, whichever comes first.
 func (pl *pipeline) takeErr() error {
 	pl.mu.Lock()
 	err := pl.err
@@ -131,8 +144,9 @@ func (pl *pipeline) takeErr() error {
 }
 
 // drain blocks until every in-flight RPC has retired. The caller must
-// hold of.mu (excluding new enqueues); the latched error, if any, stays
-// latched — reads drain without consuming it.
+// hold of.mu (excluding new enqueues). Draining does not consume the
+// latched error; the callers that surface it (reads included) follow
+// the drain with takeErr.
 func (pl *pipeline) drain() {
 	pl.wg.Wait()
 }

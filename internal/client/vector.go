@@ -186,6 +186,13 @@ func (c *Client) GrowMany(paths []string, sizes []int64) []error {
 			continue
 		}
 		errs[opIdx[j]] = results[j].Errno.Err()
+		if errs[opIdx[j]] == nil {
+			// The file end may have moved: drop cached EOF-bearing
+			// blocks, exactly as the single-path sendGrow does —
+			// otherwise a grown file keeps serving a spurious EOF from
+			// this client's own cache.
+			c.cacheInvalidate(ops[j].Path, 0, 0)
+		}
 	}
 	return errs
 }
@@ -223,9 +230,14 @@ func (c *Client) RemoveMany(paths []string) []error {
 			errs[i] = c.Remove(ops[j].Path)
 		case results[j].Errno != proto.OK:
 			errs[i] = results[j].Errno.Err()
-		case results[j].Size > 0:
-			chunky = append(chunky, ops[j].Path)
-			chunkyIdx = append(chunkyIdx, i)
+		default:
+			// Removed: cached blocks must not outlive the record (a new
+			// file under the same name would read the old one's bytes).
+			c.cacheDropPath(ops[j].Path)
+			if results[j].Size > 0 {
+				chunky = append(chunky, ops[j].Path)
+				chunkyIdx = append(chunkyIdx, i)
+			}
 		}
 	}
 	if len(chunky) > 0 {

@@ -62,6 +62,19 @@ type Config struct {
 	// WriteWindow bounds each descriptor's in-flight chunk-write RPCs
 	// under AsyncWrites; zero selects the client default.
 	WriteWindow int
+	// ReadAhead enables clients' sequential read-ahead pipeline: once a
+	// descriptor's reads are sequential, the next chunk-sized blocks are
+	// prefetched into a bounded in-flight window and served from the
+	// client chunk cache (see internal/client/readahead.go).
+	ReadAhead bool
+	// ReadWindow bounds each descriptor's in-flight prefetch block
+	// fetches under ReadAhead; zero selects the client default.
+	ReadWindow int
+	// CacheBytes bounds each client's chunk cache; any positive value
+	// enables caching (re-reads of cached data move zero wire bytes)
+	// even without ReadAhead. Zero defers to the client default when
+	// read-ahead needs a cache.
+	CacheBytes int64
 	// Conns is the number of transport connections each client stripes
 	// its per-daemon traffic over (see transport.Pool). Zero or one keeps
 	// a single connection per daemon. In-process deployments gain little
@@ -269,6 +282,9 @@ func (c *Cluster) newClient() (*client.Client, error) {
 		SizeCacheOps: c.cfg.SizeCacheOps,
 		AsyncWrites:  c.cfg.AsyncWrites,
 		WriteWindow:  c.cfg.WriteWindow,
+		ReadAhead:    c.cfg.ReadAhead,
+		ReadWindow:   c.cfg.ReadWindow,
+		CacheBytes:   c.cfg.CacheBytes,
 	})
 	if err != nil {
 		return nil, err

@@ -54,6 +54,7 @@ type Daemon struct {
 	sizeUpdates               atomic.Uint64
 	writeOps, readOps         atomic.Uint64
 	writeBytes, readBytes     atomic.Uint64
+	readSpans, readPushed     atomic.Uint64
 	readDirs                  atomic.Uint64
 	batchRPCs, batchedOps     atomic.Uint64
 
@@ -118,17 +119,19 @@ func (d *Daemon) StartupTime() time.Duration { return d.startup }
 // Stats snapshots the operation counters.
 func (d *Daemon) Stats() Stats {
 	return Stats{
-		Creates:     d.creates.Load(),
-		StatOps:     d.statOps.Load(),
-		Removes:     d.removes.Load(),
-		SizeUpdates: d.sizeUpdates.Load(),
-		WriteOps:    d.writeOps.Load(),
-		ReadOps:     d.readOps.Load(),
-		WriteBytes:  d.writeBytes.Load(),
-		ReadBytes:   d.readBytes.Load(),
-		ReadDirs:    d.readDirs.Load(),
-		BatchRPCs:   d.batchRPCs.Load(),
-		BatchedOps:  d.batchedOps.Load(),
+		Creates:         d.creates.Load(),
+		StatOps:         d.statOps.Load(),
+		Removes:         d.removes.Load(),
+		SizeUpdates:     d.sizeUpdates.Load(),
+		WriteOps:        d.writeOps.Load(),
+		ReadOps:         d.readOps.Load(),
+		WriteBytes:      d.writeBytes.Load(),
+		ReadBytes:       d.readBytes.Load(),
+		ReadSpans:       d.readSpans.Load(),
+		ReadBytesPushed: d.readPushed.Load(),
+		ReadDirs:        d.readDirs.Load(),
+		BatchRPCs:       d.batchRPCs.Load(),
+		BatchedOps:      d.batchedOps.Load(),
 	}
 }
 

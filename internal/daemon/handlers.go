@@ -370,9 +370,11 @@ func (d *Daemon) handleReadChunks(req []byte, bulk rpc.Bulk) ([]byte, error) {
 		if err := bulk.Push(data[:high]); err != nil {
 			return nil, err
 		}
+		d.readPushed.Add(uint64(high))
 	}
 	d.readOps.Add(1)
 	d.readBytes.Add(uint64(total))
+	d.readSpans.Add(uint64(len(spans)))
 	e := okResp(4 + 8*len(counts) + 9)
 	e.U32(uint32(len(counts)))
 	for _, c := range counts {
@@ -514,7 +516,7 @@ func (d *Daemon) handleReadDir(req []byte, _ rpc.Bulk) ([]byte, error) {
 }
 
 func (d *Daemon) handleStats([]byte, rpc.Bulk) ([]byte, error) {
-	e := okResp(11 * 8)
+	e := okResp(proto.DaemonStatsWireLen)
 	proto.EncodeDaemonStats(e, d.Stats())
 	return e.Bytes(), nil
 }

@@ -18,10 +18,10 @@ import (
 // formats carry no per-message version tag, so a deployment must run
 // clients and daemons of the same generation. Version 3 introduced the
 // OpReadChunks reply extension (piggybacked size view, ReadWantSize) and
-// the versioned ping itself; daemons remain compatible with older
-// clients — the reply extension is sent only when a request asks for it —
-// but a version-3 client refuses daemons that cannot answer its reads.
-const ProtocolVersion uint16 = 3
+// the versioned ping itself. Version 4 extended the OpStats reply with
+// the read-span counters (ReadSpans, ReadBytesPushed) that make
+// prefetch-window efficiency and cache hit rates observable.
+const ProtocolVersion uint16 = 4
 
 // RPC operations. Each corresponds to one registered Mercury RPC in the
 // released GekkoFS.
@@ -252,9 +252,17 @@ type DaemonStats struct {
 	// SizeUpdates counts size merge/truncate operations.
 	SizeUpdates uint64
 	// WriteOps and ReadOps count chunk RPCs; WriteBytes and ReadBytes the
-	// moved payloads.
+	// logical payloads they addressed.
 	WriteOps, ReadOps     uint64
 	WriteBytes, ReadBytes uint64
+	// ReadSpans counts the chunk spans read RPCs carried (a zero-span
+	// size probe adds none) and ReadBytesPushed the bulk bytes actually
+	// pushed back after trimming trailing holes/EOF. Against a client's
+	// logical read volume these expose the read path's efficiency: a
+	// prefetch-heavy workload shows large spans per op, and a chunk-cache
+	// hit moves no wire bytes at all, so cache hit rates appear as
+	// logical reads outpacing ReadBytes (see gkfs-shell stats).
+	ReadSpans, ReadBytesPushed uint64
 	// ReadDirs counts directory scan pages served.
 	ReadDirs uint64
 	// BatchRPCs counts OpBatchMeta calls; BatchedOps the sub-operations
@@ -274,6 +282,8 @@ func (st *DaemonStats) Add(other DaemonStats) {
 	st.ReadOps += other.ReadOps
 	st.WriteBytes += other.WriteBytes
 	st.ReadBytes += other.ReadBytes
+	st.ReadSpans += other.ReadSpans
+	st.ReadBytesPushed += other.ReadBytesPushed
 	st.ReadDirs += other.ReadDirs
 	st.BatchRPCs += other.BatchRPCs
 	st.BatchedOps += other.BatchedOps
@@ -284,11 +294,16 @@ func (st DaemonStats) MetaRPCs() uint64 {
 	return st.Creates + st.StatOps + st.Removes + st.SizeUpdates + st.ReadDirs + st.BatchRPCs
 }
 
-// EncodeDaemonStats appends the OpStats reply body (11 u64 counters, in
+// DaemonStatsWireLen is the encoded size of one DaemonStats (13 u64
+// counters); daemons use it to size the OpStats reply.
+const DaemonStatsWireLen = 13 * 8
+
+// EncodeDaemonStats appends the OpStats reply body (13 u64 counters, in
 // struct order).
 func EncodeDaemonStats(e *rpc.Enc, st DaemonStats) {
 	e.U64(st.Creates).U64(st.StatOps).U64(st.Removes).U64(st.SizeUpdates)
 	e.U64(st.WriteOps).U64(st.ReadOps).U64(st.WriteBytes).U64(st.ReadBytes)
+	e.U64(st.ReadSpans).U64(st.ReadBytesPushed)
 	e.U64(st.ReadDirs).U64(st.BatchRPCs).U64(st.BatchedOps)
 }
 
@@ -303,6 +318,8 @@ func DecodeDaemonStats(d *rpc.Dec) DaemonStats {
 	st.ReadOps = d.U64()
 	st.WriteBytes = d.U64()
 	st.ReadBytes = d.U64()
+	st.ReadSpans = d.U64()
+	st.ReadBytesPushed = d.U64()
 	st.ReadDirs = d.U64()
 	st.BatchRPCs = d.U64()
 	st.BatchedOps = d.U64()

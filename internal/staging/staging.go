@@ -14,7 +14,9 @@
 //   - Stage-out drains the cluster tree via paginated ReadDir, recreates
 //     it on the host file system, and can run incrementally against a
 //     staging manifest: files provably unmodified since stage-in move
-//     zero bytes.
+//     zero bytes. File data streams through read-ahead descriptors
+//     (client.OpenReadAhead), so the sequential copy loops ride the
+//     prefetch window instead of a synchronous fan-out per buffer.
 //   - Both directions are sparse-aware: runs of zeros are never
 //     transferred — they become holes on whichever side receives them.
 //
@@ -811,7 +813,10 @@ func (e *engine) copyOutSegment(buf []byte, w stageWork) {
 		finish(nil)
 		return
 	}
-	fd, err := e.c.Open(sf.fsPath, client.O_RDONLY)
+	// Segments are sequential streams: read-ahead keeps a window of
+	// chunk fetches in flight ahead of the copy loop instead of paying a
+	// full synchronous fan-out per buffer.
+	fd, err := e.c.OpenReadAhead(sf.fsPath, client.O_RDONLY)
 	if err != nil {
 		finish(err)
 		return
@@ -1072,7 +1077,9 @@ func (e *engine) copyOut(buf []byte, fsRoot, hostDir string, job outJob) {
 			return
 		}
 	}
-	fd, err := e.c.Open(fsPath, client.O_RDONLY)
+	// Stage-out streams each file sequentially; read-ahead pipelines the
+	// chunk fetches so the copy loop is not round-trip bound.
+	fd, err := e.c.OpenReadAhead(fsPath, client.O_RDONLY)
 	if err != nil {
 		e.fail("stage-out open", fsPath, err)
 		e.dropEntry(job.rel)

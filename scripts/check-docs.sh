@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# Documentation gate, run by CI:
+#
+#  1. Every Go package must carry a package comment (go list .Doc).
+#  2. Every gkfs-bench / gkfs-shell flag the docs mention must exist in
+#     the binary's -h output — README/docs drift fails the build.
+#
+# Flag extraction covers three shapes:
+#   - backticked `-flags` on lines naming the binary (prose, usage),
+#   - bare -flags on command lines invoking the binary (code blocks,
+#     any prefix: `gkfs-bench ...`, `./gkfs-shell ...`, `go run ./cmd/...`),
+#   - backticked `-flags` in markdown-table columns whose header names
+#     the binary (the README knob table).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+
+missing=$(go list -f '{{if not .Doc}}{{.ImportPath}}{{end}}' ./...)
+if [ -n "$missing" ]; then
+  echo "packages without a package comment:"
+  echo "$missing"
+  fail=1
+fi
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+go build -o "$tmp" ./cmd/gkfs-bench ./cmd/gkfs-shell
+
+docs=(README.md docs/*.md)
+
+# Emit "binary<TAB>cell" for every table cell under a gkfs-* column
+# header, across all docs.
+table_cells() {
+  awk '
+    /^\|/ {
+      n = split($0, f, "|")
+      if (!intable) {
+        intable = 1
+        delete colbin
+        for (i = 1; i <= n; i++) {
+          if (f[i] ~ /gkfs-bench/) colbin[i] = "gkfs-bench"
+          if (f[i] ~ /gkfs-shell/) colbin[i] = "gkfs-shell"
+        }
+        next
+      }
+      for (i in colbin) if (i <= n) print colbin[i] "\t" f[i]
+      next
+    }
+    { intable = 0 }
+  ' "${docs[@]}"
+}
+
+for bin in gkfs-bench gkfs-shell; do
+  "$tmp/$bin" -h 2> "$tmp/$bin.help" || true
+  flags=$(
+    {
+      grep -hE "\b$bin\b" "${docs[@]}" | grep -oE '`-[a-z][a-z-]*' | tr -d '`' || true
+      grep -hE "^\s*\S*\b$bin\b" "${docs[@]}" | grep -oE ' -[a-z][a-z-]*' | tr -d ' ' || true
+      table_cells | grep "^$bin	" | grep -oE '`-[a-z][a-z-]*' | tr -d '`' || true
+    } | sort -u
+  )
+  if [ -z "$flags" ]; then
+    echo "$bin: no documented flags found — extraction is broken"
+    fail=1
+    continue
+  fi
+  for f in $flags; do
+    if ! grep -qE "^  ${f}([ \t]|$)" "$tmp/$bin.help"; then
+      echo "$bin: flag $f is documented but not in '$bin -h' output"
+      fail=1
+    fi
+  done
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "docs check failed"
+  exit 1
+fi
+echo "docs check OK: package comments present, documented flags exist"
