@@ -1,0 +1,143 @@
+package analysis
+
+import (
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// The fixture harness mirrors golang.org/x/tools' analysistest on top of
+// the package's own source loader: each testdata/src/<name> directory is
+// a real, type-checking package seeded with violations, and every
+// expected diagnostic is declared in the source as a trailing
+//
+//	// want `regexp`
+//
+// comment on the line the analyzer must flag (several backquoted or
+// quoted patterns may follow one want). The test fails on any
+// expectation the analyzer missed and on any diagnostic the fixture did
+// not expect, so analyzer and fixtures pin each other down.
+
+// wantPatternRe extracts the quoted patterns following the want keyword.
+var wantPatternRe = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+// expectation is one declared diagnostic: a pattern anchored to a line.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	met  bool
+}
+
+// runFixture loads testdata/src/<name>, runs one analyzer over it, and
+// diffs the findings against the fixture's want comments.
+func runFixture(t *testing.T, a *Analyzer, name string) {
+	t.Helper()
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir, err := filepath.Abs(filepath.Join("testdata", "src", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	importPath := loader.ModulePath() + "/internal/analysis/testdata/src/" + name
+	pkg, err := loader.LoadDir(dir, importPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pkg.TypeError != nil {
+		t.Fatalf("fixture %s must type-check: %v", name, pkg.TypeError)
+	}
+
+	wants := collectWants(t, pkg)
+	findings := RunAnalyzers([]*Package{pkg}, []*Analyzer{a})
+
+	for _, f := range findings {
+		if !matchWant(wants, f) {
+			t.Errorf("unexpected diagnostic at %s: %s", f.Pos, f.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.met {
+			t.Errorf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+// collectWants parses every want comment in the fixture package.
+func collectWants(t *testing.T, pkg *Package) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				rest, ok := strings.CutPrefix(text, "want ")
+				if !ok {
+					continue
+				}
+				posn := pkg.Fset.Position(c.Pos())
+				for _, m := range wantPatternRe.FindAllStringSubmatch(rest, -1) {
+					pat := m[1]
+					if pat == "" {
+						pat = m[2]
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", posn.Filename, posn.Line, pat, err)
+					}
+					wants = append(wants, &expectation{
+						file: filepath.Base(posn.Filename),
+						line: posn.Line,
+						re:   re,
+					})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// matchWant consumes the first unmet expectation on the finding's line
+// whose pattern matches its message.
+func matchWant(wants []*expectation, f Finding) bool {
+	file := filepath.Base(f.position.Filename)
+	for _, w := range wants {
+		if !w.met && w.file == file && w.line == f.position.Line && w.re.MatchString(f.Message) {
+			w.met = true
+			return true
+		}
+	}
+	return false
+}
+
+func TestBufPoolFixtures(t *testing.T)         { runFixture(t, BufPool, "bufpool") }
+func TestLockGuardFixtures(t *testing.T)       { runFixture(t, LockGuard, "lockguard") }
+func TestFrameBoundFixtures(t *testing.T)      { runFixture(t, FrameBound, "framebound") }
+func TestErrnoExhaustiveFixtures(t *testing.T) { runFixture(t, ErrnoExhaustive, "errnoexhaustive") }
+
+// TestSuiteIsCleanOnRepo runs every analyzer over the whole module: the
+// invariants gkfs-vet enforces must hold on the tree that ships it.
+func TestSuiteIsCleanOnRepo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads the full module from source")
+	}
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.ExpandPatterns([]string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pkg := range pkgs {
+		if pkg.TypeError != nil {
+			t.Fatalf("%s: %v", pkg.Path, pkg.TypeError)
+		}
+	}
+	for _, f := range RunAnalyzers(pkgs, All()) {
+		t.Errorf("%s: [%s] %s", f.Pos, f.Analyzer, f.Message)
+	}
+}

@@ -1,0 +1,196 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+)
+
+// ErrnoExhaustive keeps the RPC surface fully plumbed: every Errno
+// constant (except the zero OK) must appear in both halves of the
+// errno codec — the errnoToErr decode table and the ErrnoOf encode
+// switch — and every Op constant of a package whose ops are registered
+// with an rpc.Server must actually be registered. A replication op added
+// to proto but not to the daemon's register() table is caught the moment
+// gkfs-vet runs, not the first time a client hangs on ErrnoNosys.
+var ErrnoExhaustive = &Analyzer{
+	Name: "errnoexhaustive",
+	Doc:  "every Errno must be in the encode/decode tables and every Op of a registered package must be registered",
+	Run:  runErrnoExhaustive,
+}
+
+func runErrnoExhaustive(pass *Pass) error {
+	checkErrnoTables(pass)
+	checkOpRegistration(pass)
+	return nil
+}
+
+// checkErrnoTables runs in the package defining a type named Errno with
+// the errnoToErr / ErrnoOf codec convention, and demands every non-zero
+// Errno constant appear in both.
+func checkErrnoTables(pass *Pass) {
+	if pass.Pkg == nil {
+		return
+	}
+	scope := pass.Pkg.Scope()
+	errnoType, ok := scope.Lookup("Errno").(*types.TypeName)
+	if !ok {
+		return
+	}
+	var errnos []*types.Const
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || c.Type() != errnoType.Type() {
+			continue
+		}
+		if v, ok := constant.Int64Val(c.Val()); ok && v == 0 {
+			continue // OK: the zero errno needs no table entry
+		}
+		errnos = append(errnos, c)
+	}
+	if len(errnos) == 0 {
+		return
+	}
+
+	decodeKeys, decodeFound := constsIn(pass, findVarInit(pass, "errnoToErr"))
+	encodeRefs, encodeFound := constsIn(pass, findFuncBody(pass, "ErrnoOf"))
+	for _, c := range errnos {
+		if decodeFound && !decodeKeys[c] {
+			pass.Reportf(c.Pos(), "Errno %s is missing from the errnoToErr decode table; clients would surface it as a raw errno", c.Name())
+		}
+		if encodeFound && !encodeRefs[c] {
+			pass.Reportf(c.Pos(), "Errno %s is never produced by ErrnoOf; its error class would encode as the ErrnoIO fallback", c.Name())
+		}
+	}
+}
+
+// findVarInit returns the initializer expression of the named
+// package-level variable, if declared in this package.
+func findVarInit(pass *Pass, name string) ast.Node {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, n := range vs.Names {
+					if n.Name == name && i < len(vs.Values) {
+						return vs.Values[i]
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// findFuncBody returns the body of the named package-level function.
+func findFuncBody(pass *Pass, name string) ast.Node {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Recv == nil && fd.Name.Name == name {
+				if fd.Body != nil {
+					return fd.Body
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// constsIn collects every constant object referenced under n.
+func constsIn(pass *Pass, n ast.Node) (map[types.Object]bool, bool) {
+	if n == nil {
+		return nil, false
+	}
+	refs := make(map[types.Object]bool)
+	ast.Inspect(n, func(x ast.Node) bool {
+		if id, ok := x.(*ast.Ident); ok {
+			if c, ok := pass.Info.Uses[id].(*types.Const); ok {
+				refs[c] = true
+			}
+		}
+		return true
+	})
+	return refs, true
+}
+
+// checkOpRegistration collects rpc.Server.Register calls; when a package
+// registers any op of some defining package, every op constant that
+// package exports must be registered.
+func checkOpRegistration(pass *Pass) {
+	registered := make(map[types.Object]bool)
+	var firstReg ast.Node
+	for _, file := range pass.Files {
+		if pass.isTestFile(file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Register" {
+				return true
+			}
+			fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Name() != "rpc" {
+				return true
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok || sig.Recv() == nil || namedTypeName(sig.Recv().Type()) != "Server" {
+				return true
+			}
+			if firstReg == nil {
+				firstReg = call
+			}
+			if c := constOf(pass, call.Args[0]); c != nil {
+				registered[c] = true
+			}
+			return true
+		})
+	}
+	if len(registered) == 0 {
+		return
+	}
+
+	// The packages whose op namespaces this server claims to serve.
+	opPkgs := make(map[*types.Package]types.Type)
+	for obj := range registered {
+		if obj.Pkg() != nil {
+			opPkgs[obj.Pkg()] = obj.Type()
+		}
+	}
+	for pkg, opType := range opPkgs {
+		scope := pkg.Scope()
+		for _, name := range scope.Names() {
+			c, ok := scope.Lookup(name).(*types.Const)
+			if !ok || !types.Identical(c.Type(), opType) || registered[c] {
+				continue
+			}
+			pass.Reportf(firstReg.Pos(),
+				"op %s.%s is never registered with the rpc server; clients invoking it get ErrnoNosys", pkg.Name(), c.Name())
+		}
+	}
+}
+
+// constOf resolves an expression to the constant object it names.
+func constOf(pass *Pass, e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if c, ok := pass.Info.Uses[e].(*types.Const); ok {
+			return c
+		}
+	case *ast.SelectorExpr:
+		if c, ok := pass.Info.Uses[e.Sel].(*types.Const); ok {
+			return c
+		}
+	}
+	return nil
+}

@@ -1,0 +1,287 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Source-mode package loading for the standalone driver and the
+// analysistest harness. Packages of this module are parsed and
+// type-checked from source (the module root is found via go.mod);
+// standard-library imports are type-checked from GOROOT source through
+// go/importer's "source" compiler, so no export data, build cache, or
+// third-party machinery is needed. The vet-tool driver (unitchecker.go)
+// uses export data instead — this path is for contexts with nothing but
+// the source tree.
+
+// Package is one loaded, type-checked package plus everything a Pass
+// needs.
+type Package struct {
+	// Path is the package's import path ("repro/internal/rpc").
+	Path string
+	// Dir is the directory the sources were read from.
+	Dir string
+	// Fset maps positions for Files.
+	Fset *token.FileSet
+	// Files are the parsed sources, with comments.
+	Files []*ast.File
+	// Types is the type-checked package object.
+	Types *types.Package
+	// Info holds the type-checker's facts about Files.
+	Info *types.Info
+	// TypeError is the first type-checking error, if any. Analyses still
+	// run on partially checked packages, but the driver surfaces it.
+	TypeError error
+}
+
+// Loader loads module packages from source, caching by import path.
+type Loader struct {
+	fset    *token.FileSet
+	root    string // module root directory
+	modPath string // module path from go.mod
+	std     types.Importer
+	pkgs    map[string]*Package
+	loading map[string]bool
+}
+
+// NewLoader returns a loader rooted at the module containing dir.
+func NewLoader(dir string) (*Loader, error) {
+	root, modPath, err := findModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		fset:    fset,
+		root:    root,
+		modPath: modPath,
+		std:     importer.ForCompiler(fset, "source", nil),
+		pkgs:    make(map[string]*Package),
+		loading: make(map[string]bool),
+	}, nil
+}
+
+// findModule walks up from dir to the enclosing go.mod and reads the
+// module path from it.
+func findModule(dir string) (root, modPath string, err error) {
+	dir, err = filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+					return dir, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("analysis: %s/go.mod has no module line", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("analysis: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// Import implements types.Importer: module paths resolve to source
+// directories under the module root, everything else (the standard
+// library) goes through the source importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == l.modPath || strings.HasPrefix(path, l.modPath+"/") {
+		pkg, err := l.LoadImportPath(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// LoadImportPath loads a package of this module by import path.
+func (l *Loader) LoadImportPath(path string) (*Package, error) {
+	rel := strings.TrimPrefix(strings.TrimPrefix(path, l.modPath), "/")
+	return l.LoadDir(filepath.Join(l.root, filepath.FromSlash(rel)), path)
+}
+
+// LoadDir parses and type-checks the package in dir under the given
+// import path. Results are cached; import cycles are reported rather
+// than recursed into.
+func (l *Loader) LoadDir(dir, path string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("analysis: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	names, err := goFilesIn(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	pkg := typeCheck(l.fset, path, files, l)
+	pkg.Dir = dir
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// goFilesIn lists dir's buildable non-test Go files, sorted.
+func goFilesIn(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, ent := range ents {
+		name := ent.Name()
+		if ent.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// typeCheck runs go/types over files, recording every fact a Pass
+// consumes. Type errors do not abort: analyses run on what checked.
+func typeCheck(fset *token.FileSet, path string, files []*ast.File, imp types.Importer) *Package {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	var firstErr error
+	conf := types.Config{
+		Importer: imp,
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+	}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if firstErr == nil {
+		firstErr = err
+	}
+	return &Package{
+		Path:      path,
+		Fset:      fset,
+		Files:     files,
+		Types:     tpkg,
+		Info:      info,
+		TypeError: firstErr,
+	}
+}
+
+// ModuleRoot reports the loader's module root directory.
+func (l *Loader) ModuleRoot() string { return l.root }
+
+// ModulePath reports the loader's module path.
+func (l *Loader) ModulePath() string { return l.modPath }
+
+// ExpandPatterns resolves command-line package patterns ("./...",
+// "./internal/rpc", import paths) into module packages, skipping
+// testdata, hidden and vendor directories exactly like the go tool.
+func (l *Loader) ExpandPatterns(patterns []string) ([]*Package, error) {
+	var pkgs []*Package
+	seen := make(map[string]bool)
+	add := func(dir string) error {
+		rel, err := filepath.Rel(l.root, dir)
+		if err != nil {
+			return err
+		}
+		path := l.modPath
+		if rel != "." {
+			path = l.modPath + "/" + filepath.ToSlash(rel)
+		}
+		if seen[path] {
+			return nil
+		}
+		seen[path] = true
+		pkg, err := l.LoadDir(dir, path)
+		if err != nil {
+			return err
+		}
+		pkgs = append(pkgs, pkg)
+		return nil
+	}
+	for _, pat := range patterns {
+		switch {
+		case pat == "./..." || pat == "...":
+			err := filepath.WalkDir(l.root, func(p string, d os.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if !d.IsDir() {
+					return nil
+				}
+				name := d.Name()
+				if p != l.root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+					name == "testdata" || name == "vendor") {
+					return filepath.SkipDir
+				}
+				names, err := goFilesIn(p)
+				if err != nil || len(names) == 0 {
+					return nil
+				}
+				return add(p)
+			})
+			if err != nil {
+				return nil, err
+			}
+		case strings.HasPrefix(pat, l.modPath):
+			pkg, err := l.LoadImportPath(pat)
+			if err != nil {
+				return nil, err
+			}
+			if !seen[pat] {
+				seen[pat] = true
+				pkgs = append(pkgs, pkg)
+			}
+		default:
+			dir := pat
+			if !filepath.IsAbs(dir) {
+				var err error
+				dir, err = filepath.Abs(dir)
+				if err != nil {
+					return nil, err
+				}
+			}
+			if err := add(dir); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return pkgs, nil
+}

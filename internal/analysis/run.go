@@ -1,0 +1,69 @@
+package analysis
+
+import (
+	"go/token"
+	"sort"
+)
+
+// Finding is one diagnostic with its position resolved, the shape the
+// drivers print and the -json mode serializes (mirroring the
+// docs/bench/BENCH_*.json convention of stable machine-readable
+// artifacts).
+type Finding struct {
+	// Analyzer is the reporting analyzer's name.
+	Analyzer string `json:"analyzer"`
+	// Package is the import path of the package the finding is in.
+	Package string `json:"package"`
+	// Pos is the "file:line:col" position of the finding.
+	Pos string `json:"pos"`
+	// Message states the violated invariant.
+	Message string `json:"message"`
+
+	position token.Position
+}
+
+// RunAnalyzers applies every analyzer to every package and returns the
+// findings ordered by file position. Analyzer Run errors are reported
+// as findings at the package level rather than aborting the sweep.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Finding {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Fset:  pkg.Fset,
+				Files: pkg.Files,
+				Pkg:   pkg.Types,
+				Info:  pkg.Info,
+			}
+			pass.Report = func(d Diagnostic) {
+				posn := pkg.Fset.Position(d.Pos)
+				findings = append(findings, Finding{
+					Analyzer: a.Name,
+					Package:  pkg.Path,
+					Pos:      posn.String(),
+					Message:  d.Message,
+					position: posn,
+				})
+			}
+			if err := a.Run(pass); err != nil {
+				findings = append(findings, Finding{
+					Analyzer: a.Name,
+					Package:  pkg.Path,
+					Pos:      pkg.Path,
+					Message:  "analyzer failed: " + err.Error(),
+				})
+			}
+		}
+	}
+	sort.SliceStable(findings, func(i, j int) bool {
+		a, b := findings[i].position, findings[j].position
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return findings
+}

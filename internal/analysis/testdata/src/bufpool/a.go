@@ -1,0 +1,87 @@
+// Package bufpool is a gkfs-vet fixture exercising the bufpool
+// analyzer: leaks on early-return paths, double releases, use after
+// release, deferred and per-branch releases, discarded results, and
+// ownership transfer through a //gkfs:owns-buf callee.
+package bufpool
+
+import "repro/internal/rpc"
+
+// leakOnError forgets the buffer on the error path.
+func leakOnError(fail bool) int {
+	buf := rpc.GetBuf(64) // want `rpc\.GetBuf result may not reach rpc\.PutBuf`
+	if fail {
+		return 0
+	}
+	n := len(buf)
+	rpc.PutBuf(buf)
+	return n
+}
+
+// deferRelease is the canonical safe shape: release pinned at
+// acquisition, good on every path.
+func deferRelease(fail bool) int {
+	buf := rpc.GetBuf(64)
+	defer rpc.PutBuf(buf)
+	if fail {
+		return 0
+	}
+	return len(buf)
+}
+
+// conditionalRelease releases explicitly on each branch.
+func conditionalRelease(short bool) int {
+	buf := rpc.GetBuf(64)
+	if short {
+		rpc.PutBuf(buf)
+		return 0
+	}
+	n := len(buf)
+	rpc.PutBuf(buf)
+	return n
+}
+
+// useAfterRelease touches the buffer after handing it back.
+func useAfterRelease() int {
+	buf := rpc.GetBuf(64)
+	rpc.PutBuf(buf)
+	return len(buf) // want `buffer used after rpc\.PutBuf released it back to the pool`
+}
+
+// doubleRelease returns the same buffer twice.
+func doubleRelease() {
+	buf := rpc.GetBuf(64)
+	rpc.PutBuf(buf)
+	rpc.PutBuf(buf) // want `buffer released twice`
+}
+
+// consume takes over the buffer and releases it itself.
+//
+//gkfs:owns-buf
+func consume(b []byte) {
+	rpc.PutBuf(b)
+}
+
+// transferOwnership hands the buffer to an owning callee; no release is
+// owed here.
+func transferOwnership() {
+	buf := rpc.GetBuf(64)
+	consume(buf)
+}
+
+// borrowOnly lends the buffer to a plain callee and still owes the
+// release.
+func borrowOnly() {
+	buf := rpc.GetBuf(64) // want `rpc\.GetBuf result may not reach rpc\.PutBuf`
+	fill(buf)
+}
+
+// discard drops the buffer on the floor.
+func discard() {
+	rpc.GetBuf(64) // want `rpc\.GetBuf result is discarded`
+}
+
+func fill(b []byte) {
+	for i := range b {
+		b[i] = 0
+	}
+}

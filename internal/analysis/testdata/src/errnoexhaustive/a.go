@@ -1,0 +1,61 @@
+// Package errnoexhaustive is a gkfs-vet fixture exercising the
+// errnoexhaustive analyzer: an Errno constant missing from one or both
+// halves of the errno codec, and an Op constant never registered with
+// the rpc server.
+package errnoexhaustive
+
+import (
+	"errors"
+
+	"repro/internal/rpc"
+)
+
+// Errno mirrors the proto wire errno convention.
+type Errno uint16
+
+const (
+	ErrnoOK    Errno = 0
+	ErrnoNoent Errno = 1
+	ErrnoIO    Errno = 2
+	ErrnoStale Errno = 3 // want `Errno ErrnoStale is missing from the errnoToErr decode table` `Errno ErrnoStale is never produced by ErrnoOf`
+)
+
+var (
+	errNoent = errors.New("no entry")
+	errIO    = errors.New("io failure")
+)
+
+// errnoToErr is the decode half of the codec.
+var errnoToErr = map[Errno]error{
+	ErrnoNoent: errNoent,
+	ErrnoIO:    errIO,
+}
+
+// ErrnoOf is the encode half of the codec.
+func ErrnoOf(err error) Errno {
+	switch {
+	case err == nil:
+		return ErrnoOK
+	case errors.Is(err, errNoent):
+		return ErrnoNoent
+	default:
+		return ErrnoIO
+	}
+}
+
+const (
+	opPing rpc.Op = iota + 1
+	opRead
+	opWrite
+)
+
+// register wires up the op table but forgets opWrite.
+func register(srv *rpc.Server) {
+	srv.Register(opPing, handle) // want `op errnoexhaustive\.opWrite is never registered with the rpc server`
+	srv.Register(opRead, handle)
+}
+
+func handle(req []byte, bulk rpc.Bulk) ([]byte, error) {
+	_ = bulk
+	return nil, nil
+}

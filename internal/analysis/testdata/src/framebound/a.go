@@ -1,0 +1,58 @@
+// Package framebound is a gkfs-vet fixture exercising the framebound
+// analyzer: wire-decoded counts sizing make and rpc.GetBuf allocations
+// or bounding loops, with and without a prior bounds check, plus the
+// //gkfs:bounded suppression for counts bounded by construction.
+package framebound
+
+import "repro/internal/rpc"
+
+// uncheckedMake sizes an allocation straight off the wire.
+func uncheckedMake(d *rpc.Dec) []byte {
+	n := d.U32()
+	return make([]byte, n) // want `allocation sized by wire-decoded n without a bounds check`
+}
+
+// checkedMake gates the count before allocating.
+func checkedMake(d *rpc.Dec) []byte {
+	n := d.U32()
+	if n > 4096 {
+		return nil
+	}
+	return make([]byte, n)
+}
+
+// uncheckedGetBuf pulls a pool buffer sized by a raw wire count.
+func uncheckedGetBuf(d *rpc.Dec) []byte {
+	n := d.U64()
+	return rpc.GetBuf(int(n)) // want `allocation sized by wire-decoded n without a bounds check`
+}
+
+// uncheckedLoop iterates a wire count without validating it.
+func uncheckedLoop(d *rpc.Dec) int {
+	n := d.U32()
+	sum := 0
+	for i := uint32(0); i < n; i++ { // want `loop bounded by wire-decoded n without a prior bounds check`
+		sum += int(d.U8())
+	}
+	return sum
+}
+
+// checkedLoop validates the count first, the repo's decoder style.
+func checkedLoop(d *rpc.Dec) int {
+	n := d.U32()
+	if n > 64 {
+		return -1
+	}
+	sum := 0
+	for i := uint32(0); i < n; i++ {
+		sum += int(d.U8())
+	}
+	return sum
+}
+
+// boundedByConstruction vouches for the count: a u8 can demand at most
+// 255 bytes, so no explicit check is needed.
+func boundedByConstruction(d *rpc.Dec) []byte {
+	n := d.U8()
+	return make([]byte, n) //gkfs:bounded
+}

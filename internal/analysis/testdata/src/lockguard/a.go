@@ -1,0 +1,80 @@
+// Package lockguard is a gkfs-vet fixture exercising the lockguard
+// analyzer: sibling and type-qualified "guarded by" fields accessed with
+// and without their mutex, read locks that do and do not suffice, and
+// the "Caller holds mu." doc convention.
+package lockguard
+
+import "sync"
+
+type counter struct {
+	mu sync.RWMutex
+	n  int // guarded by mu
+}
+
+// lockedWrite takes the write lock around the write.
+func lockedWrite(c *counter) {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+// readUnderRLock reads under the read half, which suffices.
+func readUnderRLock(c *counter) int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.n
+}
+
+// writeUnderRLock mutates while holding only the read half.
+func writeUnderRLock(c *counter) {
+	c.mu.RLock()
+	c.n++ // want `field n is guarded by c\.mu but written without holding it`
+	c.mu.RUnlock()
+}
+
+// unlockedRead touches the field with no lock at all.
+func unlockedRead(c *counter) int {
+	return c.n // want `field n is guarded by c\.mu but read without holding it`
+}
+
+// releasedTooEarly unlocks before the access.
+func releasedTooEarly(c *counter) {
+	c.mu.Lock()
+	c.mu.Unlock()
+	c.n = 0 // want `field n is guarded by c\.mu but written without holding it`
+}
+
+// lockedInOneBranch only holds the lock on the merge's then-path.
+func lockedInOneBranch(c *counter, maybe bool) {
+	if maybe {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+	}
+	c.n = 1 // want `field n is guarded by c\.mu but written without holding it`
+}
+
+// bump relies on the caller's lock.
+// Caller holds mu.
+func (c *counter) bump() {
+	c.n++
+}
+
+type shard struct {
+	mu sync.Mutex
+}
+
+type ent struct {
+	refs int // guarded by shard.mu
+}
+
+// touchEnt holds the owning shard's lock while mutating the entry.
+func touchEnt(s *shard, e *ent) {
+	s.mu.Lock()
+	e.refs++
+	s.mu.Unlock()
+}
+
+// touchEntUnlocked mutates the entry with no shard lock held.
+func touchEntUnlocked(e *ent) {
+	e.refs++ // want `field refs is guarded by shard\.mu but written without holding it`
+}

@@ -1,0 +1,153 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"strings"
+)
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// The `go vet -vettool` protocol: cmd/go invokes the tool once per
+// package as `tool <objdir>/vet.cfg`, passing everything needed to
+// type-check that unit — file list, the import map, and the paths of the
+// dependencies' export data in the build cache. The tool prints
+// diagnostics to stderr and exits non-zero when it found any. Before
+// that, cmd/go probes the tool with -V=full (version fingerprint for
+// build caching) and -flags (supported flags as JSON). This mirrors
+// x/tools' unitchecker driver on the standard library alone.
+
+// vetConfig is the JSON shape of cmd/go's vet.cfg.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ModulePath                string
+	ModuleVersion             string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	GoVersion                 string
+	SucceedOnTypecheckFailure bool
+}
+
+// PrintVersion implements the -V=full handshake. The fingerprint is the
+// tool binary's own content hash, so editing an analyzer invalidates
+// cmd/go's cached vet results for every package.
+func PrintVersion(w io.Writer, progname string) {
+	id := "unknown"
+	if exe, err := os.Executable(); err == nil {
+		if data, err := os.ReadFile(exe); err == nil {
+			sum := sha256.Sum256(data)
+			id = fmt.Sprintf("%x", sum[:12])
+		}
+	}
+	fmt.Fprintf(w, "%s version devel buildID=%s\n", progname, id)
+}
+
+// PrintFlags implements the -flags handshake: the JSON list of flags
+// cmd/go may forward. gkfs-vet takes none in vettool mode.
+func PrintFlags(w io.Writer) {
+	fmt.Fprintln(w, "[]")
+}
+
+// RunVetTool processes one vet.cfg unit and returns the process exit
+// code: 0 clean, 2 findings (diagnostics on stderr), 1 operational
+// failure.
+func RunVetTool(cfgPath string, stderr io.Writer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "gkfs-vet: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(stderr, "gkfs-vet: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	if cfg.VetxOnly {
+		// Dependency pass for analyzer facts; gkfs-vet's analyzers are
+		// fact-free, so there is nothing to export.
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintf(stderr, "gkfs-vet: %v\n", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return 0
+	}
+
+	// Resolve imports through the build cache's export data, exactly as
+	// the unit's compile did: import path → ImportMap → PackageFile.
+	compImp := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		path, ok := cfg.ImportMap[importPath]
+		if !ok {
+			path = importPath
+		}
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return compImp.Import(path)
+	})
+
+	pkg := typeCheck(fset, cfg.ImportPath, files, imp)
+	if pkg.TypeError != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(stderr, "gkfs-vet: typecheck %s: %v\n", cfg.ImportPath, pkg.TypeError)
+		return 1
+	}
+	pkg.Dir = cfg.Dir
+
+	findings := RunAnalyzers([]*Package{pkg}, All())
+	if len(findings) == 0 {
+		return 0
+	}
+	for _, f := range findings {
+		fmt.Fprintf(stderr, "%s: %s: %s\n", f.Pos, f.Analyzer, f.Message)
+	}
+	return 2
+}
+
+// IsVetCfg reports whether the sole positional argument is a vet.cfg
+// path, i.e. the tool is being driven by cmd/go.
+func IsVetCfg(args []string) bool {
+	return len(args) == 1 && strings.HasSuffix(args[0], ".cfg")
+}

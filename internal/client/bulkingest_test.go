@@ -215,6 +215,53 @@ func TestReadDirRejectsHostileNames(t *testing.T) {
 	}
 }
 
+// TestReadDirRejectsForgedEntryCount pins the wrap-proof count guard in
+// readDirNode: a reply claiming more entries than its frame could
+// possibly hold (at least 10 wire bytes each) must be rejected before
+// the entry loop runs, while a legitimate minimal page — one one-letter
+// name, which encodes in just 12 bytes after the count — still decodes.
+func TestReadDirRejectsForgedEntryCount(t *testing.T) {
+	dial := func(t *testing.T, h rpc.Handler) *Client {
+		t.Helper()
+		srv := rpc.NewServer(0)
+		srv.Register(proto.OpReadDir, h)
+		net := transport.NewMemNetwork()
+		net.Register(0, srv)
+		conn, err := net.Dial(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := New(Config{Conns: []rpc.Conn{conn}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+
+	c := dial(t, func([]byte, rpc.Bulk) ([]byte, error) {
+		e := rpc.NewEnc(16)
+		e.U16(uint16(proto.OK))
+		e.U32(1 << 30) // a billion entries in an empty frame
+		return e.Bytes(), nil
+	})
+	if _, err := c.ReadDir("/"); !errors.Is(err, proto.ErrInval) {
+		t.Fatalf("forged entry count produced %v, want ErrInval", err)
+	}
+
+	c = dial(t, func([]byte, rpc.Bulk) ([]byte, error) {
+		e := rpc.NewEnc(32)
+		e.U16(uint16(proto.OK))
+		e.U32(1)
+		e.Str("a").U8(0).I64(7)
+		e.Str("") // scan exhausted
+		return e.Bytes(), nil
+	})
+	ents, err := c.ReadDir("/")
+	if err != nil || len(ents) != 1 || ents[0].Name != "a" || ents[0].Size != 7 {
+		t.Fatalf("minimal page = %+v, %v; want one entry \"a\"", ents, err)
+	}
+}
+
 func TestUnsupportedOpsNamePathAndOp(t *testing.T) {
 	c := newLocalCluster(t, 1, Config{ChunkSize: 512})
 	cases := []struct {

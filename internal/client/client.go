@@ -110,8 +110,8 @@ type Client struct {
 	cacheInit sync.Mutex
 
 	mu     sync.Mutex
-	files  map[int]*openFile
-	nextFD int
+	files  map[int]*openFile // guarded by mu
+	nextFD int               // guarded by mu
 }
 
 // openFile is a file-map slot.
@@ -638,6 +638,14 @@ func (c *Client) readDirNode(node int, dir string) ([]DirEntry, error) {
 			return nil, err
 		}
 		n := d.U32()
+		// Each entry is at least 10 wire bytes (1-byte uvarint name length +
+		// u8 kind + i64 size); a count that cannot fit the remaining frame
+		// is a forged or corrupt page, not a short one.
+		const minDirEntBytes = 1 + 1 + 8
+		if int64(n)*minDirEntBytes > int64(d.Remaining()) {
+			return nil, fmt.Errorf("gekkofs: daemon %d returned corrupt directory page (%d entries in %d bytes): %w",
+				node, n, d.Remaining(), proto.ErrInval)
+		}
 		for i := uint32(0); i < n; i++ {
 			ent := DirEntry{Name: d.Str(), IsDir: d.U8() == 1, Size: d.I64()}
 			if ent.Name == "" || ent.Name == "." || ent.Name == ".." ||

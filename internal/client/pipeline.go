@@ -53,8 +53,8 @@ type pipeline struct {
 	onFail func()
 
 	mu     sync.Mutex
-	err    error       // first completion failure, latched until surfaced
-	ranges []*inflight // byte extents of in-flight writes
+	err    error       // guarded by mu; first completion failure, latched until surfaced
+	ranges []*inflight // guarded by mu; byte extents of in-flight writes
 }
 
 // inflight is one staged write call's byte extent, alive until all of

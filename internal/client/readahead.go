@@ -87,10 +87,10 @@ type readahead struct {
 	wg    sync.WaitGroup
 
 	mu      sync.Mutex
-	lastEnd int64 // end offset of the previous read on this descriptor
-	seq     int   // consecutive sequential reads observed
-	nextOff int64 // next block offset speculation would issue
-	eofAt   int64 // lowest believed EOF; prefetch never crosses it
+	lastEnd int64 // guarded by mu; end offset of the previous read on this descriptor
+	seq     int   // guarded by mu; consecutive sequential reads observed
+	nextOff int64 // guarded by mu; next block offset speculation would issue
+	eofAt   int64 // guarded by mu; lowest believed EOF; prefetch never crosses it
 }
 
 func newReadahead(window int) *readahead {
@@ -134,10 +134,10 @@ type cacheEnt struct {
 	eof  bool   // the file ended at off+n when fetched
 	err  error  // fetch failure; entry is already unlinked
 
-	settled    bool
-	gone       bool // unlinked from the cache (invalidated/evicted)
-	ref        int  // readers copying from data; blocks buffer recycling
-	prev, next *cacheEnt
+	settled    bool      // guarded by chunkCache.mu
+	gone       bool      // guarded by chunkCache.mu; unlinked from the cache (invalidated/evicted)
+	ref        int       // guarded by chunkCache.mu; readers copying from data; blocks buffer recycling
+	prev, next *cacheEnt // guarded by chunkCache.mu
 }
 
 // end returns the first byte past the entry's present data.
@@ -153,10 +153,10 @@ func (ent *cacheEnt) end() int64 { return ent.off + int64(ent.n) }
 // accepted only if no write to this path landed in between — per path,
 // so an unrelated path's writes never discard the deposit.
 type pathBlocks struct {
-	blocks  map[int64]*cacheEnt
-	eofs    int
-	eofHint int64
-	gen     uint64
+	blocks  map[int64]*cacheEnt // guarded by chunkCache.mu
+	eofs    int                 // guarded by chunkCache.mu
+	eofHint int64               // guarded by chunkCache.mu
+	gen     uint64              // guarded by chunkCache.mu
 }
 
 func newPathBlocks() *pathBlocks {
@@ -170,10 +170,10 @@ func newPathBlocks() *pathBlocks {
 type chunkCache struct {
 	mu    sync.Mutex
 	cap   int64
-	used  int64
-	paths map[string]*pathBlocks
+	used  int64                  // guarded by mu
+	paths map[string]*pathBlocks // guarded by mu
 	// LRU list: head is most recently used, tail the eviction candidate.
-	head, tail *cacheEnt
+	head, tail *cacheEnt // guarded by mu
 }
 
 func newChunkCache(capBytes int64) *chunkCache {
@@ -364,6 +364,8 @@ func (cc *chunkCache) startFetch(path string, off, size int64) (*cacheEnt, bool)
 
 // settle completes an in-flight fetch with data. If the entry was
 // invalidated mid-flight the buffer is recycled and waiters see a miss.
+//
+//gkfs:owns-buf
 func (cc *chunkCache) settle(ent *cacheEnt, data []byte, n int, eof bool) {
 	cc.mu.Lock()
 	if ent.gone {
@@ -401,6 +403,8 @@ func (cc *chunkCache) settleErr(ent *cacheEnt, err error) {
 // contribution). gen must be the path's generation observed before the
 // wire read was issued (see generation): an invalidation of this path
 // since then means the bytes may predate a write and must not be cached.
+//
+//gkfs:owns-buf
 func (cc *chunkCache) insert(path string, off int64, data []byte, eof bool, gen uint64) {
 	size := int64(len(data))
 	if eof {

@@ -159,8 +159,8 @@ type engine struct {
 	opts Options
 
 	mu  sync.Mutex
-	rep Report
-	mf  *Manifest // nil when no manifest is in play
+	rep Report    // guarded by mu
+	mf  *Manifest // guarded by mu; nil when no manifest is in play
 }
 
 func (e *engine) fail(op, path string, err error) {
@@ -202,6 +202,56 @@ func (e *engine) skip(size int64) {
 	e.rep.SkippedBytes += size
 }
 
+// report stamps the elapsed time and hands out the engine's report.
+// Every StageIn/StageOut exit funnels through here, so the guarded
+// fields are touched under mu even in the single-threaded phases.
+func (e *engine) report(begin time.Time) *Report {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.rep.Duration = time.Since(begin)
+	return &e.rep
+}
+
+// dirDone counts one created directory.
+func (e *engine) dirDone() {
+	e.mu.Lock()
+	e.rep.Dirs++
+	e.mu.Unlock()
+}
+
+// setManifest installs the manifest during single-threaded setup.
+func (e *engine) setManifest(mf *Manifest) {
+	e.mu.Lock()
+	e.mf = mf
+	e.mu.Unlock()
+}
+
+// hasManifest reports whether a manifest is in play.
+func (e *engine) hasManifest() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.mf != nil
+}
+
+// putEntry records a manifest entry; a no-op without a manifest.
+func (e *engine) putEntry(ent Entry) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.mf != nil {
+		e.mf.Put(ent)
+	}
+}
+
+// writeManifest persists the manifest when one is in play.
+func (e *engine) writeManifest() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.mf == nil {
+		return nil
+	}
+	return e.mf.WriteFile(e.opts.Manifest)
+}
+
 // dropEntry forgets a manifest entry whose file failed to transfer, so a
 // later incremental pass cannot wrongly skip it.
 func (e *engine) dropEntry(rel string) {
@@ -226,7 +276,7 @@ func (e *engine) lookupEntry(rel string) (Entry, bool) {
 // newHash returns a SHA-256 only when a manifest wants one — hashing is
 // pure overhead otherwise.
 func (e *engine) newHash() hash.Hash {
-	if e.mf == nil {
+	if !e.hasManifest() {
 		return nil
 	}
 	return sha256.New()
@@ -240,7 +290,7 @@ func (e *engine) newHash() hash.Hash {
 // small-file batch path records from a batched StatMany instead of
 // calling this.
 func (e *engine) recordDone(rel, fsPath string, size int64, h hash.Hash) {
-	if e.mf == nil {
+	if !e.hasManifest() {
 		e.done(rel, size, nil, 0)
 		return
 	}
@@ -257,7 +307,7 @@ func (e *engine) recordDone(rel, fsPath string, size int64, h hash.Hash) {
 // breaks, unclean forms) fail their file up front — transferring it and
 // then corrupting or forging manifest lines would be worse.
 func (e *engine) manifestable(rel string) error {
-	if e.mf == nil {
+	if !e.hasManifest() {
 		return nil
 	}
 	return checkRel(rel)
@@ -390,18 +440,17 @@ type inFile struct {
 func StageIn(c *client.Client, hostDir, fsDir string, opts Options) (*Report, error) {
 	begin := time.Now()
 	e := &engine{c: c, opts: opts.withDefaults(DefaultBufBytes)}
-	defer func() { e.rep.Duration = time.Since(begin) }()
 	if e.opts.Manifest != "" {
-		e.mf = NewManifest()
+		e.setManifest(NewManifest())
 	}
 	fsRoot, err := meta.Clean(fsDir)
 	if err != nil {
-		return &e.rep, fmt.Errorf("staging: destination %q: %w", fsDir, err)
+		return e.report(begin), fmt.Errorf("staging: destination %q: %w", fsDir, err)
 	}
 	if info, err := os.Stat(hostDir); err != nil {
-		return &e.rep, fmt.Errorf("staging: source: %w", err)
+		return e.report(begin), fmt.Errorf("staging: source: %w", err)
 	} else if !info.IsDir() {
-		return &e.rep, fmt.Errorf("staging: source %s is not a directory", hostDir)
+		return e.report(begin), fmt.Errorf("staging: source %s is not a directory", hostDir)
 	}
 
 	// Walk the host tree. The walk returns nil for every per-entry
@@ -454,7 +503,7 @@ func StageIn(c *client.Client, hostDir, fsDir string, opts Options) (*Report, er
 	// walk order (parents first), then every file record in sharded
 	// CreateMany batches — one RPC per daemon instead of one per file.
 	if err := c.MkdirAll(fsRoot); err != nil {
-		return &e.rep, fmt.Errorf("staging: create %s: %w", fsRoot, err)
+		return e.report(begin), fmt.Errorf("staging: create %s: %w", fsRoot, err)
 	}
 	for _, rel := range dirs {
 		p := fsJoin(fsRoot, rel)
@@ -462,10 +511,8 @@ func StageIn(c *client.Client, hostDir, fsDir string, opts Options) (*Report, er
 			e.fail("mkdir", p, err)
 			continue
 		}
-		e.rep.Dirs++
-		if e.mf != nil {
-			e.mf.Put(Entry{Rel: rel, Dir: true, MTimeNS: time.Now().UnixNano()})
-		}
+		e.dirDone()
+		e.putEntry(Entry{Rel: rel, Dir: true, MTimeNS: time.Now().UnixNano()})
 	}
 	paths := make([]string, len(files))
 	for i := range files {
@@ -493,9 +540,10 @@ func StageIn(c *client.Client, hostDir, fsDir string, opts Options) (*Report, er
 	// sequential hash) so one giant checkpoint engages as many workers
 	// as a directory of files would.
 	var queue []stageWork
+	withManifest := e.hasManifest()
 	for _, f := range pump {
 		fsPath := fsJoin(fsRoot, f.rel)
-		if e.mf == nil && f.size > e.opts.SegmentBytes {
+		if !withManifest && f.size > e.opts.SegmentBytes {
 			if f.trunc {
 				// One truncate up front; segments must not O_TRUNC each
 				// other's freshly written data.
@@ -554,12 +602,10 @@ func StageIn(c *client.Client, hostDir, fsDir string, opts Options) (*Report, er
 	close(jobs)
 	wg.Wait()
 
-	if e.mf != nil {
-		if err := e.mf.WriteFile(e.opts.Manifest); err != nil {
-			return &e.rep, fmt.Errorf("staging: manifest: %w", err)
-		}
+	if err := e.writeManifest(); err != nil {
+		return e.report(begin), fmt.Errorf("staging: manifest: %w", err)
 	}
-	return &e.rep, nil
+	return e.report(begin), nil
 }
 
 // growBatch accumulates small-file size updates for one worker, flushed
@@ -590,7 +636,8 @@ func (e *engine) flushGrow(gb *growBatch) {
 	// one batched StatMany per flush reads them all back.
 	var infos []client.FileInfo
 	var serrs []error
-	if e.mf != nil {
+	withManifest := e.hasManifest()
+	if withManifest {
 		infos, serrs = e.c.StatMany(gb.fsPaths)
 	}
 	for i := range gb.fsPaths {
@@ -599,7 +646,7 @@ func (e *engine) flushGrow(gb *growBatch) {
 			continue
 		}
 		mtime := int64(0)
-		if e.mf != nil {
+		if withManifest {
 			if serrs[i] != nil {
 				e.fail("stage-in stat", gb.fsPaths[i], serrs[i])
 				continue
@@ -882,30 +929,29 @@ type outJob struct {
 func StageOut(c *client.Client, fsDir, hostDir string, opts Options) (*Report, error) {
 	begin := time.Now()
 	e := &engine{c: c, opts: opts.withDefaults(DefaultReadBufBytes)}
-	defer func() { e.rep.Duration = time.Since(begin) }()
 	fsRoot, err := meta.Clean(fsDir)
 	if err != nil {
-		return &e.rep, fmt.Errorf("staging: source %q: %w", fsDir, err)
+		return e.report(begin), fmt.Errorf("staging: source %q: %w", fsDir, err)
 	}
 	switch {
 	case e.opts.Incremental && e.opts.Manifest == "":
-		return &e.rep, errors.New("staging: incremental stage-out requires a manifest")
+		return e.report(begin), errors.New("staging: incremental stage-out requires a manifest")
 	case e.opts.Incremental:
 		mf, err := LoadManifest(e.opts.Manifest)
 		if err != nil {
-			return &e.rep, fmt.Errorf("staging: manifest: %w", err)
+			return e.report(begin), fmt.Errorf("staging: manifest: %w", err)
 		}
-		e.mf = mf
+		e.setManifest(mf)
 	case e.opts.Manifest != "":
-		e.mf = NewManifest()
+		e.setManifest(NewManifest())
 	}
 	if info, err := c.Stat(fsRoot); err != nil {
-		return &e.rep, fmt.Errorf("staging: source %s: %w", fsRoot, err)
+		return e.report(begin), fmt.Errorf("staging: source %s: %w", fsRoot, err)
 	} else if !info.IsDir() {
-		return &e.rep, fmt.Errorf("staging: source %s: %w", fsRoot, proto.ErrNotDir)
+		return e.report(begin), fmt.Errorf("staging: source %s: %w", fsRoot, proto.ErrNotDir)
 	}
 	if err := os.MkdirAll(hostDir, 0o777); err != nil {
-		return &e.rep, fmt.Errorf("staging: destination: %w", err)
+		return e.report(begin), fmt.Errorf("staging: destination: %w", err)
 	}
 
 	// Walk the cluster tree (paginated ReadDir under the hood), creating
@@ -981,8 +1027,9 @@ func StageOut(c *client.Client, fsDir, hostDir string, opts Options) (*Report, e
 	// would need one sequential stream); the host file is created empty
 	// here so segments only ever write their own ranges.
 	var queue []stageWork
+	withManifest := e.hasManifest()
 	for _, job := range jobs {
-		if e.mf == nil && job.size > e.opts.SegmentBytes {
+		if !withManifest && job.size > e.opts.SegmentBytes {
 			hostPath := filepath.Join(hostDir, filepath.FromSlash(job.rel))
 			f, err := os.OpenFile(hostPath, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o666)
 			if err != nil {
@@ -1025,12 +1072,10 @@ func StageOut(c *client.Client, fsDir, hostDir string, opts Options) (*Report, e
 	close(work)
 	wg.Wait()
 
-	if e.mf != nil {
-		if err := e.mf.WriteFile(e.opts.Manifest); err != nil {
-			return &e.rep, fmt.Errorf("staging: manifest: %w", err)
-		}
+	if err := e.writeManifest(); err != nil {
+		return e.report(begin), fmt.Errorf("staging: manifest: %w", err)
 	}
-	return &e.rep, nil
+	return e.report(begin), nil
 }
 
 // unmodifiedSince reports whether the cluster file described by job is
@@ -1151,7 +1196,7 @@ func (e *engine) copyOut(buf []byte, fsRoot, hostDir string, job outJob) {
 	// rationale): the incremental walk already stat'ed it; a fresh
 	// manifest pays one stat here.
 	mtime := int64(0)
-	if e.mf != nil {
+	if e.hasManifest() {
 		if job.hasStat {
 			mtime = job.mtimeNS
 		} else if info, err := e.c.Stat(fsPath); err == nil {

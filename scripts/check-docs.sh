@@ -1,9 +1,14 @@
 #!/usr/bin/env bash
 # Documentation gate, run by CI:
 #
-#  1. Every Go package must carry a package comment (go list .Doc).
+#  1. Every Go package must carry a package comment (go list .Doc) —
+#     internal/analysis included, whose doc is the analyzer suite's
+#     front door.
 #  2. Every gkfs-bench / gkfs-shell flag the docs mention must exist in
 #     the binary's -h output — README/docs drift fails the build.
+#  3. Every analyzer gkfs-vet ships must be documented in
+#     docs/INVARIANTS.md, so the invariant catalog cannot drift behind
+#     the suite.
 #
 # Flag extraction covers three shapes:
 #   - backticked `-flags` on lines naming the binary (prose, usage),
@@ -23,9 +28,24 @@ if [ -n "$missing" ]; then
   fail=1
 fi
 
+# The analyzer suite's package comment is the contract other sessions
+# read first; require it explicitly even if the sweep above changes.
+if [ -z "$(go list -f '{{.Doc}}' ./internal/analysis)" ]; then
+  echo "internal/analysis has no package comment"
+  fail=1
+fi
+
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
-go build -o "$tmp" ./cmd/gkfs-bench ./cmd/gkfs-shell
+go build -o "$tmp" ./cmd/gkfs-bench ./cmd/gkfs-shell ./cmd/gkfs-vet
+
+# Every shipped analyzer must appear in the invariant catalog.
+while IFS=$'\t' read -r name _; do
+  if ! grep -qE "^## $name\b" docs/INVARIANTS.md; then
+    echo "analyzer $name has no '## $name' section in docs/INVARIANTS.md"
+    fail=1
+  fi
+done < <("$tmp/gkfs-vet" -list)
 
 docs=(README.md docs/*.md)
 
