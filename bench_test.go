@@ -400,57 +400,138 @@ func tcpCluster(b *testing.B, nodes, conns int, cfg client.Config) *client.Clien
 	return c
 }
 
+// ioWorkload is the shared transport-comparison workload: 4 concurrent
+// workers, each alternating one ioSize write and one ioSize read per
+// iteration against its own file. Offsets rotate through the first
+// 16 ops' worth of each file, which the setup primes with data so reads
+// never hit holes. Running the identical workload over different
+// transports makes the reported MB/s directly comparable.
+func ioWorkload(b *testing.B, c *client.Client, ioSize int) {
+	b.Helper()
+	const workers = 4
+	fds := make([]int, workers)
+	prime := make([]byte, 4<<20)
+	for w := range fds {
+		fd, err := c.Create(fmt.Sprintf("/w%d", w))
+		if err != nil {
+			b.Fatal(err)
+		}
+		fds[w] = fd
+		// Prime 64 MiB so reads hit data (in 4 MiB strokes regardless of
+		// ioSize — priming at a small ioSize would be thousands of RPCs).
+		for off := int64(0); off < 64<<20; off += int64(len(prime)) {
+			if _, err := c.WriteAt(fd, prime, off); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.SetBytes(int64(workers) * int64(ioSize))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				p := make([]byte, ioSize)
+				off := int64((i*workers+w)%16) * int64(ioSize)
+				if _, err := c.WriteAt(fds[w], p, off); err != nil {
+					b.Error(err)
+					return
+				}
+				if _, err := c.ReadAt(fds[w], p, off); err != nil {
+					b.Error(err)
+				}
+			}(w)
+		}
+		wg.Wait()
+	}
+}
+
 // BenchmarkRealTCPLargeIO compares large-I/O throughput over real TCP
 // sockets across transport pool sizes: 4 concurrent writers each moving
 // 4 MiB per op to 2 daemons. conns-1 is the single-socket baseline the
 // striped pool must match or beat (it serializes every bulk frame behind
 // one write mutex and one kernel send queue per daemon).
 func BenchmarkRealTCPLargeIO(b *testing.B) {
-	const (
-		workers = 4
-		ioSize  = 4 << 20
-	)
 	for _, conns := range []int{1, 2, 8} {
 		b.Run(fmt.Sprintf("conns-%d", conns), func(b *testing.B) {
-			c := tcpCluster(b, 2, conns, client.Config{})
-			fds := make([]int, workers)
-			buf := make([]byte, ioSize)
-			for w := range fds {
-				fd, err := c.Create(fmt.Sprintf("/w%d", w))
-				if err != nil {
-					b.Fatal(err)
-				}
-				fds[w] = fd
-				// Prime 64 MiB so reads hit data.
-				for off := int64(0); off < 64<<20; off += ioSize {
-					if _, err := c.WriteAt(fd, buf, off); err != nil {
-						b.Fatal(err)
-					}
-				}
-			}
-			b.SetBytes(int64(workers) * ioSize)
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				var wg sync.WaitGroup
-				for w := 0; w < workers; w++ {
-					wg.Add(1)
-					go func(w int) {
-						defer wg.Done()
-						p := make([]byte, ioSize)
-						off := int64((i*workers+w)%16) * ioSize
-						if _, err := c.WriteAt(fds[w], p, off); err != nil {
-							b.Error(err)
-							return
-						}
-						if _, err := c.ReadAt(fds[w], p, off); err != nil {
-							b.Error(err)
-						}
-					}(w)
-				}
-				wg.Wait()
-			}
+			ioWorkload(b, tcpCluster(b, 2, conns, client.Config{}), 4<<20)
 		})
 	}
+}
+
+// BenchmarkRealTCPSmallIO is the same workload at sub-chunk 64 KiB ops —
+// the operating point where per-RPC socket overhead, not memcpy
+// bandwidth, dominates. This is the TCP half of the co-located
+// comparison BenchmarkShmSmallIO completes.
+func BenchmarkRealTCPSmallIO(b *testing.B) {
+	for _, conns := range []int{1, 8} {
+		b.Run(fmt.Sprintf("conns-%d", conns), func(b *testing.B) {
+			ioWorkload(b, tcpCluster(b, 2, conns, client.Config{}), 64<<10)
+		})
+	}
+}
+
+// shmCluster stands up daemons behind shared-memory doorbell sockets —
+// the co-located deployment — and returns a client built from cfg. On
+// platforms without the shm transport the benchmark is skipped.
+func shmCluster(b *testing.B, nodes int, cfg client.Config) *client.Client {
+	b.Helper()
+	dir, err := os.MkdirTemp("", "gkfs-shm-b-")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { os.RemoveAll(dir) })
+	clientConns := make([]rpc.Conn, nodes)
+	for i := 0; i < nodes; i++ {
+		d, err := daemon.New(daemon.Config{ID: i, FS: vfs.NewMem(), ChunkSize: cfg.ChunkSize})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { d.Close() })
+		sock := filepath.Join(dir, fmt.Sprintf("d%d.sock", i))
+		l, err := net.Listen("unix", sock)
+		if err != nil {
+			b.Skipf("unix sockets unavailable: %v", err)
+		}
+		b.Cleanup(func() { l.Close() })
+		go transport.ServeShm(l, d.Server(), 0)
+		conn, err := transport.DialShmPool(sock, 60*time.Second, 1)
+		if err != nil {
+			b.Skipf("shm transport unavailable: %v", err)
+		}
+		b.Cleanup(func() { conn.Close() })
+		clientConns[i] = conn
+	}
+	cfg.Conns = clientConns
+	c, err := client.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := c.EnsureRoot(); err != nil {
+		b.Fatal(err)
+	}
+	return c
+}
+
+// BenchmarkShmLargeIO runs exactly BenchmarkRealTCPLargeIO's workload —
+// 4 concurrent workers each moving 4 MiB per op to 2 daemons — over the
+// co-located shared-memory transport, so the two benchmarks' MB/s are
+// directly comparable. The bulk bytes cross no socket at all here: one
+// segment copy per direction on the client, in-place chunk I/O on the
+// daemon. The doorbell needs no striping (it carries only headers), so
+// there is no conns axis.
+func BenchmarkShmLargeIO(b *testing.B) {
+	ioWorkload(b, shmCluster(b, 2, client.Config{}), 4<<20)
+}
+
+// BenchmarkShmSmallIO is the 64 KiB sub-chunk point of the co-located
+// comparison: each op is one doorbell round trip whose bulk bytes never
+// touch a socket, against BenchmarkRealTCPSmallIO's per-op TCP stack
+// traversal.
+func BenchmarkShmSmallIO(b *testing.B) {
+	ioWorkload(b, shmCluster(b, 2, client.Config{}), 64<<10)
 }
 
 // BenchmarkAsyncWriteStream measures a single writer streaming over real

@@ -28,9 +28,7 @@ import (
 	"repro/internal/client"
 	"repro/internal/core"
 	"repro/internal/distributor"
-	"repro/internal/rpc"
 	"repro/internal/staging"
-	"repro/internal/transport"
 	"repro/internal/workload"
 )
 
@@ -71,6 +69,7 @@ func main() {
 	readwindow := flag.Int("readwindow", 0, "readahead: in-flight prefetch span fetches per descriptor, 4 chunks each (0 = default)")
 	cacheFlag := flag.String("cachebytes", "0", "client chunk cache size (0 = default when read-ahead is on)")
 	connsN := flag.Int("conns", 1, "striped transport connections per daemon")
+	transportMode := flag.String("transport", "auto", "with -daemons: auto | tcp | shm (auto takes a daemon's shared-memory fast path when it is reachable from this node)")
 	distName := flag.String("distributor", "simplehash", "placement pattern: simplehash | guided-first-chunk")
 	batch := flag.Int("batch", 0, "mdtest: ops per batched metadata RPC (0/1 = per-op protocol)")
 	dataDir := flag.String("datadir", "", "in-process cluster: persist daemon state under this directory (default: volatile in-memory)")
@@ -123,13 +122,9 @@ func main() {
 			log.Fatalf("gkfs-bench: %v", err)
 		}
 		factory = func() (*client.Client, error) {
-			conns := make([]rpc.Conn, len(addrs))
-			for i, a := range addrs {
-				conn, err := transport.DialTCPPool(strings.TrimSpace(a), 60*time.Second, *connsN)
-				if err != nil {
-					return nil, err
-				}
-				conns[i] = conn
+			conns, err := client.DialDaemons(addrs, *transportMode, 60*time.Second, *connsN)
+			if err != nil {
+				return nil, err
 			}
 			c, err := client.New(client.Config{
 				Conns: conns, Dist: dist, ChunkSize: chunk, SizeCacheOps: *sizeCache,

@@ -11,6 +11,13 @@
 // flag); each accepted connection is served independently, and a
 // connection sending a corrupt or hostile frame is closed rather than
 // resynchronized.
+//
+// With -shm SOCK the daemon additionally serves the shared-memory
+// transport on a Unix-domain doorbell socket and advertises it in every
+// ping reply: clients running on the same node discover it at mount time
+// and move their bulk traffic through an mmap'd segment instead of the
+// TCP socket (their -transport flag controls this; "auto" takes the fast
+// path whenever it is genuinely reachable).
 package main
 
 import (
@@ -35,6 +42,8 @@ func main() {
 	chunk := flag.Int64("chunk", meta.DefaultChunkSize, "chunk size in bytes (cluster-wide)")
 	pool := flag.Int("pool", 16, "concurrent RPC handlers")
 	syncWAL := flag.Bool("sync-wal", false, "fsync metadata WAL per operation")
+	shm := flag.String("shm", "", "serve the shared-memory transport on this Unix socket (advertised to co-located clients)")
+	shmSeg := flag.Int("shm-seg", transport.DefaultShmSegBytes, "shared-memory segment bytes per connection")
 	flag.Parse()
 
 	if *data == "" {
@@ -47,6 +56,7 @@ func main() {
 	}
 	d, err := daemon.New(daemon.Config{
 		ID: *id, FS: fs, ChunkSize: *chunk, PoolSize: *pool, SyncWAL: *syncWAL,
+		ShmSocket: *shm,
 	})
 	if err != nil {
 		log.Fatalf("gkfs-daemon: %v", err)
@@ -57,6 +67,16 @@ func main() {
 	if err != nil {
 		log.Fatalf("gkfs-daemon: %v", err)
 	}
+	var shmL net.Listener
+	if *shm != "" {
+		os.Remove(*shm) // a stale socket from a previous run blocks Listen
+		shmL, err = net.Listen("unix", *shm)
+		if err != nil {
+			log.Fatalf("gkfs-daemon: shm doorbell: %v", err)
+		}
+		go transport.ServeShm(shmL, d.Server(), *shmSeg)
+		log.Printf("gkfs-daemon %d shm doorbell on %s (segment %d bytes)", *id, *shm, *shmSeg)
+	}
 	log.Printf("gkfs-daemon %d serving on %s (data %s, chunk %d, startup %v)",
 		*id, l.Addr(), *data, *chunk, d.StartupTime())
 
@@ -66,6 +86,9 @@ func main() {
 		<-sig
 		log.Printf("gkfs-daemon: shutting down")
 		l.Close()
+		if shmL != nil {
+			shmL.Close()
+		}
 	}()
 
 	if err := transport.ServeTCP(l, d.Server()); err != nil {

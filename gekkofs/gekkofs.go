@@ -118,6 +118,14 @@ func WithDistributor(name string) Option { return func(c *core.Config) { c.Distr
 // serializing on a single socket.
 func WithConns(n int) Option { return func(c *core.Config) { c.Conns = n } }
 
+// WithTransport selects the fabric wiring this deployment's clients to
+// its daemons: "mem" (default) calls handlers directly in process, "shm"
+// runs every daemon behind a shared-memory doorbell socket — the
+// zero-copy segment path co-located clients use against standalone
+// daemons, exposed here so library users and benchmarks can exercise it
+// without separate processes. "shm" requires a unix platform.
+func WithTransport(name string) Option { return func(c *core.Config) { c.Transport = name } }
+
 // WithAsyncWrites enables the write-behind data pipeline, the
 // relaxed-semantics fast path for streaming writers: File.Write/WriteAt
 // stage their chunk RPCs into a bounded per-descriptor in-flight window

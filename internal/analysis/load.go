@@ -3,12 +3,14 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 )
@@ -151,7 +153,11 @@ func (l *Loader) LoadDir(dir, path string) (*Package, error) {
 	return pkg, nil
 }
 
-// goFilesIn lists dir's buildable non-test Go files, sorted.
+// goFilesIn lists dir's buildable non-test Go files, sorted. Build
+// constraints are evaluated against the host platform, mirroring the go
+// tool's file selection for the tag vocabulary this module uses (GOOS,
+// GOARCH and the unix umbrella tag) — otherwise platform-gated pairs
+// like shm.go/shm_stub.go would both load and collide.
 func goFilesIn(dir string) ([]string, error) {
 	ents, err := os.ReadDir(dir)
 	if err != nil {
@@ -164,10 +170,62 @@ func goFilesIn(dir string) ([]string, error) {
 			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
 			continue
 		}
+		ok, err := buildConstraintOK(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			continue
+		}
 		names = append(names, name)
 	}
 	sort.Strings(names)
 	return names, nil
+}
+
+// unixGOOS lists the GOOS values the "unix" build tag covers (the go
+// tool's definition).
+var unixGOOS = map[string]bool{
+	"aix": true, "android": true, "darwin": true, "dragonfly": true,
+	"freebsd": true, "hurd": true, "illumos": true, "ios": true,
+	"linux": true, "netbsd": true, "openbsd": true, "solaris": true,
+}
+
+// hostTagOK reports whether the host platform satisfies one build tag.
+// Unknown tags (custom tags, cgo, release tags) evaluate false — a file
+// gated on them is treated as not buildable here, which is the
+// conservative choice for a source-mode loader.
+func hostTagOK(tag string) bool {
+	switch tag {
+	case runtime.GOOS, runtime.GOARCH:
+		return true
+	case "unix":
+		return unixGOOS[runtime.GOOS]
+	}
+	return false
+}
+
+// buildConstraintOK reports whether path's //go:build line — if it has
+// one in its preamble — is satisfied on the host platform.
+func buildConstraintOK(path string) (bool, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return false, err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if constraint.IsGoBuild(line) {
+			expr, err := constraint.Parse(line)
+			if err != nil {
+				return false, fmt.Errorf("analysis: %s: %w", path, err)
+			}
+			return expr.Eval(hostTagOK), nil
+		}
+		if strings.HasPrefix(line, "package ") {
+			break // past the preamble: any constraint would be inert
+		}
+	}
+	return true, nil
 }
 
 // typeCheck runs go/types over files, recording every fact a Pass

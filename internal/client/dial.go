@@ -1,0 +1,132 @@
+package client
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/proto"
+	"repro/internal/rpc"
+	"repro/internal/transport"
+)
+
+// DaemonInfo is what a mount-time ping reveals about one daemon.
+type DaemonInfo struct {
+	// ID is the daemon's index within the cluster's host list.
+	ID int
+	// Version is the daemon's protocol generation (0 when the daemon
+	// predates versioned pings).
+	Version uint16
+	// ShmSocket is the daemon's shared-memory doorbell path, empty when
+	// it serves none.
+	ShmSocket string
+}
+
+// ProbeDaemon pings a daemon over an established connection and decodes
+// its identity, protocol generation and shared-memory advertisement.
+// Every trailer is additive, so probing an older daemon simply yields
+// zero values for the fields it predates.
+func ProbeDaemon(conn rpc.Conn) (DaemonInfo, error) {
+	var info DaemonInfo
+	payload, err := conn.Call(proto.OpPing, nil, nil, rpc.BulkNone)
+	if err != nil {
+		return info, err
+	}
+	d := rpc.NewDec(payload)
+	if errno := proto.Errno(d.U16()); errno != proto.OK {
+		return info, errno.Err()
+	}
+	info.ID = int(d.U32())
+	if err := d.Err(); err != nil {
+		return info, err
+	}
+	if d.Remaining() >= 2 {
+		info.Version = d.U16()
+	}
+	if d.Err() == nil && d.Remaining() > 0 {
+		info.ShmSocket = d.Str()
+	}
+	return info, d.Err()
+}
+
+// DialDaemons connects to every daemon address for a mount, selecting the
+// transport per daemon according to mode:
+//
+//	"tcp"  — striped TCP pools, unconditionally.
+//	"shm"  — require the shared-memory fast path on every daemon; fail
+//	         loudly when one advertises no doorbell or it is unreachable.
+//	"auto" — probe each daemon over TCP and switch to the shared-memory
+//	         path when the daemon advertises a doorbell that is dialable
+//	         from this node and answers as the same daemon; keep TCP
+//	         otherwise. This is the node-local detection the paper's
+//	         co-located deployments rely on.
+//
+// The same-identity check matters: a doorbell path is only meaningful on
+// the daemon's own node, and an unrelated socket at the same path on a
+// different node must not be silently mistaken for the daemon.
+func DialDaemons(addrs []string, mode string, timeout time.Duration, conns int) ([]rpc.Conn, error) {
+	if mode == "" {
+		mode = "auto"
+	}
+	if mode != "auto" && mode != "tcp" && mode != "shm" {
+		return nil, fmt.Errorf("client: unknown transport %q (want auto, tcp or shm)", mode)
+	}
+	out := make([]rpc.Conn, 0, len(addrs))
+	closeAll := func() {
+		for _, c := range out {
+			c.Close()
+		}
+	}
+	for _, a := range addrs {
+		a = strings.TrimSpace(a)
+		tcp, err := transport.DialTCPPool(a, timeout, conns)
+		if err != nil {
+			closeAll()
+			return nil, fmt.Errorf("client: dial %s: %w", a, err)
+		}
+		if mode == "tcp" {
+			out = append(out, tcp)
+			continue
+		}
+		info, err := ProbeDaemon(tcp)
+		if err != nil {
+			tcp.Close()
+			closeAll()
+			return nil, fmt.Errorf("client: probe %s: %w", a, err)
+		}
+		if info.ShmSocket == "" {
+			if mode == "shm" {
+				tcp.Close()
+				closeAll()
+				return nil, fmt.Errorf("client: daemon %s advertises no shared-memory doorbell", a)
+			}
+			out = append(out, tcp)
+			continue
+		}
+		shm, err := transport.DialShmPool(info.ShmSocket, timeout, 1)
+		if err == nil {
+			var sinfo DaemonInfo
+			sinfo, err = ProbeDaemon(shm)
+			if err == nil && sinfo.ID != info.ID {
+				err = fmt.Errorf("client: doorbell %s answers as daemon %d, expected %d (not co-located?)",
+					info.ShmSocket, sinfo.ID, info.ID)
+			}
+			if err != nil {
+				shm.Close()
+			}
+		}
+		if err != nil {
+			if mode == "shm" {
+				tcp.Close()
+				closeAll()
+				return nil, fmt.Errorf("client: shm dial %s (daemon %s): %w", info.ShmSocket, a, err)
+			}
+			// Not co-located (or the doorbell is stale): TCP serves fine.
+			out = append(out, tcp)
+			continue
+		}
+		tcp.Close()
+		out = append(out, shm)
+	}
+	return out, nil
+}

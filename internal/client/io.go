@@ -156,9 +156,11 @@ func (c *Client) writeSpansLocked(of *openFile, p []byte, off int64) error {
 func (c *Client) writeGroups(path string, p []byte, off int64) error {
 	groups := c.groupByTarget(path, off, int64(len(p)))
 	err := runGroups(groups, func(node int, g *targetGroup) error {
-		payload, bulk := encodeWrite(path, g, p)
+		payload, bulk, pooled := encodeWrite(path, g, p, false)
 		d, err := c.call(node, proto.OpWriteChunks, payload, bulk, rpc.BulkIn)
-		rpc.PutBuf(bulk)
+		if pooled {
+			rpc.PutBuf(bulk)
+		}
 		if err != nil {
 			return err
 		}
@@ -168,20 +170,32 @@ func (c *Client) writeGroups(path string, p []byte, off int64) error {
 	return err
 }
 
-// encodeWrite builds one write RPC's payload and its concatenated bulk
-// region. The bulk buffer is pooled — the transport is done with it once
-// Call returns, so the caller releases it with rpc.PutBuf afterwards.
-// (The bulk region is what the daemon pulls; RDMA-read in the paper's
+// encodeWrite builds one write RPC's payload and its bulk region. (The
+// bulk region is what the daemon pulls; RDMA-read in the paper's
 // deployment.)
-func encodeWrite(path string, g *targetGroup, p []byte) (payload, bulk []byte) {
+//
+// A single-span group exposes the caller's own slice of p as the bulk
+// region — the transport gathers it straight into the socket (writev) or
+// copies it once into the shared segment, with no client-side staging
+// copy. That is only sound when the caller blocks on the call before
+// reusing p; paths that return before the RPC settles (the write-behind
+// pipeline) pass copyAlways to force a concatenated pooled copy.
+// pooled reports which case happened: a pooled bulk is released by the
+// caller with rpc.PutBuf once Call returns; a borrowed slice of p must
+// never enter the pool.
+func encodeWrite(path string, g *targetGroup, p []byte, copyAlways bool) (payload, bulk []byte, pooled bool) {
 	e := rpc.NewEnc(len(path) + 16 + 24*len(g.spans))
 	e.Str(path)
 	proto.EncodeSpans(e, g.spans)
+	if !copyAlways && len(g.spans) == 1 {
+		s := g.spans[0]
+		return e.Bytes(), p[g.bufOff[0] : g.bufOff[0]+s.Len], false
+	}
 	bulk = rpc.GetBuf(int(g.bytes))[:0]
 	for i, s := range g.spans {
 		bulk = append(bulk, p[g.bufOff[i]:g.bufOff[i]+s.Len]...)
 	}
-	return e.Bytes(), bulk
+	return e.Bytes(), bulk, true
 }
 
 // checkWritten validates a write RPC's reply against the bytes sent.
@@ -219,7 +233,9 @@ func (c *Client) enqueueSpansLocked(of *openFile, p []byte, off int64) error {
 	var remaining atomic.Int32
 	remaining.Store(int32(len(groups)))
 	for node, g := range groups {
-		payload, bulk := encodeWrite(of.path, g, p)
+		// copyAlways: this path returns before the RPC settles, so the
+		// caller's buffer cannot back the bulk region.
+		payload, bulk, _ := encodeWrite(of.path, g, p, true)
 		// Blocking on a window slot is the pipeline's backpressure; slots
 		// are released by completions, which never need of.mu, so holding
 		// the descriptor lock here cannot deadlock.
@@ -462,11 +478,23 @@ func (c *Client) readSpans(of *openFile, p []byte, off int64) (int, error) {
 		proto.EncodeSpans(e, g.spans)
 		e.U8(proto.ReadWantSize)
 		var bulk []byte
+		pooled := false
 		dir := rpc.BulkNone
 		if g.bytes > 0 {
-			bulk = rpc.GetBuf(int(g.bytes))
-			defer rpc.PutBuf(bulk)
-			clear(bulk) // pooled: a short server push must still read as zeros
+			if len(g.spans) == 1 {
+				// Single-span group: expose the caller's destination slice
+				// itself, so the transport scatters the response bulk
+				// straight into it — no staging buffer, no gather copy.
+				bulk = p[g.bufOff[0] : g.bufOff[0]+g.spans[0].Len]
+			} else {
+				bulk = rpc.GetBuf(int(g.bytes))
+				pooled = true
+				defer rpc.PutBuf(bulk)
+			}
+			// Dirty either way (pooled buffer or caller memory): the daemon
+			// sends only up to the last present byte, and everything past
+			// it — holes, reads beyond EOF — must still read as zeros.
+			clear(bulk)
 			dir = rpc.BulkOut
 		}
 		d, err := c.call(node, proto.OpReadChunks, e.Bytes(), bulk, dir)
@@ -497,10 +525,14 @@ func (c *Client) readSpans(of *openFile, p []byte, off int64) (int, error) {
 		if node == metaNode {
 			sizeState, sizeView = state, size
 		}
-		var boff int64
-		for i, s := range g.spans {
-			copy(p[g.bufOff[i]:g.bufOff[i]+s.Len], bulk[boff:boff+s.Len])
-			boff += s.Len
+		if pooled {
+			// Multi-span groups scatter the concatenated region out to the
+			// caller's slices; the single-span path already landed in place.
+			var boff int64
+			for i, s := range g.spans {
+				copy(p[g.bufOff[i]:g.bufOff[i]+s.Len], bulk[boff:boff+s.Len])
+				boff += s.Len
+			}
 		}
 		return nil
 	})

@@ -10,6 +10,8 @@ package core
 import (
 	"errors"
 	"fmt"
+	"net"
+	"os"
 	"path/filepath"
 	"sync"
 	"time"
@@ -85,6 +87,13 @@ type Config struct {
 	// the paper's hashing, "guided-first-chunk" for the co-located
 	// first-chunk variant.
 	Distributor string
+	// Transport names the fabric wiring clients to the in-process
+	// daemons: "" or "mem" for the direct in-memory fabric, "shm" to run
+	// every daemon behind a shared-memory doorbell socket — the same
+	// zero-copy segment path co-located clients use against real daemons,
+	// exercised here so library users and benchmarks can drive it without
+	// separate processes. Requires a unix platform.
+	Transport string
 	// StageIn, when set, copies a host directory tree into the namespace
 	// during NewCluster, after the health check — the job's input data
 	// arrives with the deployment. Stage time is reported separately from
@@ -105,6 +114,12 @@ type Cluster struct {
 	net     *transport.MemNetwork
 	deploy  time.Duration
 
+	// Shared-memory transport state (Config.Transport == "shm"): one
+	// doorbell socket per daemon under a private directory.
+	shmDir   string
+	shmSocks []string
+	shmLs    []net.Listener
+
 	stageInTime  time.Duration
 	stageOutTime time.Duration
 	stageIn      *staging.Report
@@ -121,8 +136,22 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	if cfg.Nodes <= 0 {
 		return nil, errors.New("core: cluster needs at least one node")
 	}
+	if cfg.Transport != "" && cfg.Transport != "mem" && cfg.Transport != "shm" {
+		return nil, fmt.Errorf("core: unknown transport %q (want mem or shm)", cfg.Transport)
+	}
 	begin := time.Now()
 	c := &Cluster{cfg: cfg, net: transport.NewMemNetwork()}
+	if cfg.Transport == "shm" {
+		dir, err := os.MkdirTemp("", "gkfs-shm-")
+		if err != nil {
+			return nil, fmt.Errorf("core: shm socket dir: %w", err)
+		}
+		c.shmDir = dir
+		c.shmSocks = make([]string, cfg.Nodes)
+		for i := range c.shmSocks {
+			c.shmSocks[i] = filepath.Join(dir, fmt.Sprintf("d%d.sock", i))
+		}
+	}
 
 	// Daemons start concurrently, as a parallel job launcher would start
 	// them.
@@ -144,13 +173,17 @@ func NewCluster(cfg Config) (*Cluster, error) {
 					return
 				}
 			}
-			d, err := daemon.New(daemon.Config{
+			dcfg := daemon.Config{
 				ID:        i,
 				FS:        fs,
 				ChunkSize: cfg.ChunkSize,
 				PoolSize:  cfg.PoolSize,
 				SyncWAL:   cfg.SyncWAL,
-			})
+			}
+			if c.shmSocks != nil {
+				dcfg.ShmSocket = c.shmSocks[i]
+			}
+			d, err := daemon.New(dcfg)
 			if err != nil {
 				errs[i] = err
 				return
@@ -170,6 +203,17 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	c.daemons = daemons
 	for i, d := range daemons {
 		c.net.Register(i, d.Server())
+	}
+	if cfg.Transport == "shm" {
+		for i, d := range daemons {
+			l, err := net.Listen("unix", c.shmSocks[i])
+			if err != nil {
+				c.Close()
+				return nil, fmt.Errorf("core: shm doorbell %d: %w", i, err)
+			}
+			c.shmLs = append(c.shmLs, l)
+			go transport.ServeShm(l, d.Server(), 0)
+		}
 	}
 
 	// Health check: every daemon must answer a ping — and speak this
@@ -258,6 +302,14 @@ func (c *Cluster) dist() (distributor.Distributor, error) {
 func (c *Cluster) newClient() (*client.Client, error) {
 	conns := make([]rpc.Conn, c.cfg.Nodes)
 	for i := range conns {
+		if c.cfg.Transport == "shm" {
+			conn, err := transport.DialShmPool(c.shmSocks[i], 0, max(c.cfg.Conns, 1))
+			if err != nil {
+				return nil, fmt.Errorf("core: shm dial %d: %w", i, err)
+			}
+			conns[i] = conn
+			continue
+		}
 		if c.cfg.Conns > 1 {
 			node := i
 			conns[i] = transport.NewPool(c.cfg.Conns, func() (rpc.Conn, error) {
@@ -346,6 +398,10 @@ func (c *Cluster) Close() error {
 	c.conns = nil
 	c.mu.Unlock()
 	errs := stageErrs
+	for _, l := range c.shmLs {
+		l.Close()
+	}
+	c.shmLs = nil
 	for _, d := range c.daemons {
 		if d != nil {
 			if err := d.Close(); err != nil {
@@ -354,5 +410,9 @@ func (c *Cluster) Close() error {
 		}
 	}
 	c.daemons = nil
+	if c.shmDir != "" {
+		os.RemoveAll(c.shmDir)
+		c.shmDir = ""
+	}
 	return errors.Join(errs...)
 }

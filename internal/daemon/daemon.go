@@ -36,6 +36,12 @@ type Config struct {
 	PoolSize int
 	// SyncWAL makes metadata operations durable before acknowledgement.
 	SyncWAL bool
+	// ShmSocket, when non-empty, is the path of the Unix-domain doorbell
+	// socket this daemon serves the shared-memory transport on. The ping
+	// reply advertises it so co-located clients can switch to the
+	// zero-copy segment path at mount time. The daemon does not listen on
+	// it itself — the process hosting the daemon does (transport.ServeShm).
+	ShmSocket string
 }
 
 // Stats are the daemon's operation counters. The type is shared with the
@@ -116,8 +122,10 @@ func (d *Daemon) Server() *rpc.Server { return d.srv }
 // StartupTime reports how long New took (KV recovery dominates).
 func (d *Daemon) StartupTime() time.Duration { return d.startup }
 
-// Stats snapshots the operation counters.
+// Stats snapshots the operation counters, folding in the wire-tier
+// counters the transports maintain on the RPC server.
 func (d *Daemon) Stats() Stats {
+	w := d.srv.Wire().Snapshot()
 	return Stats{
 		Creates:         d.creates.Load(),
 		StatOps:         d.statOps.Load(),
@@ -132,6 +140,12 @@ func (d *Daemon) Stats() Stats {
 		ReadDirs:        d.readDirs.Load(),
 		BatchRPCs:       d.batchRPCs.Load(),
 		BatchedOps:      d.batchedOps.Load(),
+		FramesIn:        w.FramesIn,
+		FramesOut:       w.FramesOut,
+		WireBytesIn:     w.BytesIn,
+		WireBytesOut:    w.BytesOut,
+		VectoredWrites:  w.VectoredWrites,
+		ShmCalls:        w.ShmCalls,
 	}
 }
 

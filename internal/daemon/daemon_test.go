@@ -76,6 +76,11 @@ func TestPingReturnsIDAndVersion(t *testing.T) {
 	if v := dec.U16(); v != proto.ProtocolVersion {
 		t.Fatalf("ping version = %d, want %d", v, proto.ProtocolVersion)
 	}
+	// The shm advertisement trailer: empty unless the daemon was
+	// configured with a doorbell socket.
+	if sock := dec.Str(); sock != "" {
+		t.Fatalf("ping shm socket = %q, want empty", sock)
+	}
 	if err := dec.Done(); err != nil {
 		t.Fatal(err)
 	}

@@ -43,15 +43,18 @@ func (d *Daemon) register() {
 	d.srv.Register(proto.OpBatchMeta, d.handleBatchMeta)
 }
 
-// handlePing reports the daemon's ID and its protocol version. The
-// version trailer is what lets a client refuse a mixed-generation
-// deployment at mount time instead of failing obscurely mid-I/O
-// (client.VerifyProtocol); pre-version clients simply never decoded past
-// the ID.
+// handlePing reports the daemon's ID, its protocol version and — when
+// the daemon serves one — the path of its shared-memory doorbell socket,
+// which co-located clients use to switch to the zero-copy segment
+// transport at mount time. The version trailer is what lets a client
+// refuse a mixed-generation deployment at mount time instead of failing
+// obscurely mid-I/O (client.VerifyProtocol); each trailer is additive,
+// so older clients simply never decode past what they know.
 func (d *Daemon) handlePing([]byte, rpc.Bulk) ([]byte, error) {
-	e := okResp(6)
+	e := okResp(6 + 2 + len(d.cfg.ShmSocket))
 	e.U32(uint32(d.cfg.ID))
 	e.U16(proto.ProtocolVersion)
+	e.Str(d.cfg.ShmSocket)
 	return e.Bytes(), nil
 }
 
@@ -274,9 +277,10 @@ func (d *Daemon) handleWriteChunks(req []byte, bulk rpc.Bulk) ([]byte, error) {
 	if bulk == nil || int64(bulk.Len()) < total {
 		return nil, fmt.Errorf("write %s: bulk region %d short of %d", path, bulkLen(bulk), total)
 	}
-	data := rpc.GetBuf(int(total))
-	defer rpc.PutBuf(data)
-	if err := bulk.Pull(data); err != nil {
+	// The transport's wire-read region (or the shared segment window) is
+	// the pwrite source itself — no staging copy.
+	data, err := bulk.Bytes()
+	if err != nil {
 		return nil, err
 	}
 	err = forEachSpan(spans, func(_ int, s proto.ChunkSpan, off int64) error {
@@ -339,16 +343,21 @@ func (d *Daemon) handleReadChunks(req []byte, bulk rpc.Bulk) ([]byte, error) {
 	}
 	counts := make([]int64, len(spans))
 	if total > 0 {
-		data := rpc.GetBuf(int(total))
-		defer rpc.PutBuf(data)
+		// The transport's outgoing bulk region is the pread destination
+		// itself — no staging copy, no Push.
+		data, werr := bulk.Writable(int(total))
+		if werr != nil {
+			return nil, werr
+		}
 		err = forEachSpan(spans, func(i int, s proto.ChunkSpan, off int64) error {
 			dst := data[off : off+s.Len]
 			n, err := d.chunks.ReadChunk(path, s.ID, s.Off, dst)
 			if err != nil {
 				return err
 			}
-			// The staging buffer is pooled (dirty); bytes past what the chunk
-			// file holds are holes and must read as zeros.
+			// The region is dirty (a pooled wire buffer or a reused segment
+			// window); bytes past what the chunk file holds are holes and
+			// must read as zeros.
 			clear(dst[n:])
 			counts[i] = int64(n)
 			return nil
@@ -356,7 +365,7 @@ func (d *Daemon) handleReadChunks(req []byte, bulk rpc.Bulk) ([]byte, error) {
 		if err != nil {
 			return nil, err
 		}
-		// Push only up to the last present byte: the client cleared its
+		// Commit only up to the last present byte: the client cleared its
 		// bulk region before exposing it, so the untransferred tail reads
 		// as zeros there. Reads past EOF and hole-heavy windows move
 		// (almost) nothing over the wire instead of a window of zeros.
@@ -367,7 +376,7 @@ func (d *Daemon) handleReadChunks(req []byte, bulk rpc.Bulk) ([]byte, error) {
 			}
 			spanOff += s.Len
 		}
-		if err := bulk.Push(data[:high]); err != nil {
+		if err := bulk.Commit(int(high)); err != nil {
 			return nil, err
 		}
 		d.readPushed.Add(uint64(high))

@@ -20,8 +20,11 @@ import (
 // OpReadChunks reply extension (piggybacked size view, ReadWantSize) and
 // the versioned ping itself. Version 4 extended the OpStats reply with
 // the read-span counters (ReadSpans, ReadBytesPushed) that make
-// prefetch-window efficiency and cache hit rates observable.
-const ProtocolVersion uint16 = 4
+// prefetch-window efficiency and cache hit rates observable. Version 5
+// appended the shared-memory doorbell advertisement to the OpPing reply
+// and the six wire-tier counters (frames, wire bytes, vectored writes,
+// shm calls) to the OpStats reply.
+const ProtocolVersion uint16 = 5
 
 // RPC operations. Each corresponds to one registered Mercury RPC in the
 // released GekkoFS.
@@ -270,6 +273,17 @@ type DaemonStats struct {
 	// the number of metadata ops amortized over one RPC and one WAL
 	// append.
 	BatchRPCs, BatchedOps uint64
+	// FramesIn/FramesOut count transport frames the daemon decoded and
+	// wrote; WireBytesIn/WireBytesOut the socket bytes they moved (bulk
+	// bytes over the shared-memory segment are excluded — they never
+	// touch a socket). VectoredWrites counts responses sent as
+	// scatter-gather header+bulk pairs, ShmCalls requests that arrived
+	// over the shared-memory doorbell. Together they expose the wire
+	// tier: logical I/O volume versus WireBytes shows the zero-copy and
+	// fast-path win directly.
+	FramesIn, FramesOut       uint64
+	WireBytesIn, WireBytesOut uint64
+	VectoredWrites, ShmCalls  uint64
 }
 
 // Add accumulates other's counters into st (per-cluster totals).
@@ -287,6 +301,12 @@ func (st *DaemonStats) Add(other DaemonStats) {
 	st.ReadDirs += other.ReadDirs
 	st.BatchRPCs += other.BatchRPCs
 	st.BatchedOps += other.BatchedOps
+	st.FramesIn += other.FramesIn
+	st.FramesOut += other.FramesOut
+	st.WireBytesIn += other.WireBytesIn
+	st.WireBytesOut += other.WireBytesOut
+	st.VectoredWrites += other.VectoredWrites
+	st.ShmCalls += other.ShmCalls
 }
 
 // MetaRPCs sums the metadata-plane RPC counters.
@@ -294,17 +314,20 @@ func (st DaemonStats) MetaRPCs() uint64 {
 	return st.Creates + st.StatOps + st.Removes + st.SizeUpdates + st.ReadDirs + st.BatchRPCs
 }
 
-// DaemonStatsWireLen is the encoded size of one DaemonStats (13 u64
+// DaemonStatsWireLen is the encoded size of one DaemonStats (19 u64
 // counters); daemons use it to size the OpStats reply.
-const DaemonStatsWireLen = 13 * 8
+const DaemonStatsWireLen = 19 * 8
 
-// EncodeDaemonStats appends the OpStats reply body (13 u64 counters, in
+// EncodeDaemonStats appends the OpStats reply body (19 u64 counters, in
 // struct order).
 func EncodeDaemonStats(e *rpc.Enc, st DaemonStats) {
 	e.U64(st.Creates).U64(st.StatOps).U64(st.Removes).U64(st.SizeUpdates)
 	e.U64(st.WriteOps).U64(st.ReadOps).U64(st.WriteBytes).U64(st.ReadBytes)
 	e.U64(st.ReadSpans).U64(st.ReadBytesPushed)
 	e.U64(st.ReadDirs).U64(st.BatchRPCs).U64(st.BatchedOps)
+	e.U64(st.FramesIn).U64(st.FramesOut)
+	e.U64(st.WireBytesIn).U64(st.WireBytesOut)
+	e.U64(st.VectoredWrites).U64(st.ShmCalls)
 }
 
 // DecodeDaemonStats reads what EncodeDaemonStats wrote.
@@ -323,6 +346,12 @@ func DecodeDaemonStats(d *rpc.Dec) DaemonStats {
 	st.ReadDirs = d.U64()
 	st.BatchRPCs = d.U64()
 	st.BatchedOps = d.U64()
+	st.FramesIn = d.U64()
+	st.FramesOut = d.U64()
+	st.WireBytesIn = d.U64()
+	st.WireBytesOut = d.U64()
+	st.VectoredWrites = d.U64()
+	st.ShmCalls = d.U64()
 	return st
 }
 

@@ -22,6 +22,13 @@ type Op uint16
 
 // Bulk is the server-side view of the client's exposed buffer region for
 // one call.
+//
+// Pull and Push are the copying accessors (an RDMA get/put). Bytes,
+// Writable and Commit are their zero-copy counterparts: they hand the
+// handler a direct view of the transport's bulk region — the wire-read
+// region for BulkIn, the outgoing region for BulkOut — so the data path
+// touches each byte at most once per direction. Views are valid only
+// until the handler returns; retaining one is a use-after-release.
 type Bulk interface {
 	// Pull copies the client's buffer into p (an RDMA get). It fails if p
 	// is longer than the exposed region.
@@ -31,6 +38,18 @@ type Bulk interface {
 	Push(p []byte) error
 	// Len returns the size of the exposed region.
 	Len() int
+	// Bytes returns the BulkIn region itself, without copying. The view
+	// is read-only by convention and dies with the handler invocation.
+	Bytes() ([]byte, error)
+	// Writable returns an n-byte outgoing region the handler fills in
+	// place (n must not exceed Len). The transport sends nothing until
+	// Commit declares how much of the region is meaningful.
+	Writable(n int) ([]byte, error)
+	// Commit declares that the first n bytes of the Writable region are
+	// ready to travel back to the client. Bytes past n are never sent; on
+	// the client they read as whatever the caller left there (the data
+	// path pre-clears its regions, so trimmed tails read as zeros).
+	Commit(n int) error
 }
 
 // Handler serves one operation. req is the request payload; the returned
@@ -90,6 +109,48 @@ type ServerStats struct {
 	Errors uint64
 }
 
+// WireCounters aggregate transport-level activity below the dispatch
+// layer: frames and bytes moved, scatter-gather writes issued, and
+// shared-memory fast-path calls served. Transports increment them on the
+// server they serve (Server.Wire); the daemon folds them into its stats
+// reply so the wire tier's behaviour is observable end to end.
+type WireCounters struct {
+	// FramesIn/FramesOut count request frames decoded and response
+	// frames written.
+	FramesIn, FramesOut atomic.Uint64
+	// BytesIn/BytesOut count wire bytes moved, length prefixes included.
+	// On the shared-memory transport bulk bytes move through the mapped
+	// segment, not the socket, so they are excluded here — the gap
+	// between logical I/O volume and BytesIn/Out is the fast path's win.
+	BytesIn, BytesOut atomic.Uint64
+	// VectoredWrites counts responses sent as scatter-gather (writev)
+	// header+bulk pairs instead of a joined frame.
+	VectoredWrites atomic.Uint64
+	// ShmCalls counts requests that arrived over the shared-memory
+	// doorbell.
+	ShmCalls atomic.Uint64
+}
+
+// WireStats is a plain snapshot of WireCounters.
+type WireStats struct {
+	FramesIn, FramesOut uint64
+	BytesIn, BytesOut   uint64
+	VectoredWrites      uint64
+	ShmCalls            uint64
+}
+
+// Snapshot reads every counter once.
+func (w *WireCounters) Snapshot() WireStats {
+	return WireStats{
+		FramesIn:       w.FramesIn.Load(),
+		FramesOut:      w.FramesOut.Load(),
+		BytesIn:        w.BytesIn.Load(),
+		BytesOut:       w.BytesOut.Load(),
+		VectoredWrites: w.VectoredWrites.Load(),
+		ShmCalls:       w.ShmCalls.Load(),
+	}
+}
+
 // Server dispatches operations to registered handlers on a bounded
 // handler pool.
 type Server struct {
@@ -101,6 +162,7 @@ type Server struct {
 
 	requests atomic.Uint64
 	errors   atomic.Uint64
+	wire     WireCounters
 }
 
 // NewServer returns a server whose handler pool admits poolSize concurrent
@@ -159,6 +221,10 @@ func (s *Server) Stats() ServerStats {
 	return ServerStats{Requests: s.requests.Load(), Errors: s.errors.Load()}
 }
 
+// Wire returns the transport-level counters for this server. Transports
+// serving it increment them; observers snapshot them.
+func (s *Server) Wire() *WireCounters { return &s.wire }
+
 // SliceBulk adapts a local byte slice to the Bulk interface. The
 // in-process transport hands the client's buffer to the handler directly,
 // making Pull and Push zero-copy in spirit: the copy is the single memcpy
@@ -185,3 +251,26 @@ func (b SliceBulk) Push(p []byte) error {
 
 // Len implements Bulk.
 func (b SliceBulk) Len() int { return len(b) }
+
+// Bytes implements Bulk: the region is the client's buffer, so the view
+// is genuinely zero-copy.
+func (b SliceBulk) Bytes() ([]byte, error) { return b, nil }
+
+// Writable implements Bulk. The handler writes straight into the
+// client's buffer — the in-process analogue of an RDMA put with no
+// staging at all.
+func (b SliceBulk) Writable(n int) ([]byte, error) {
+	if n > len(b) {
+		return nil, fmt.Errorf("rpc: writable region of %d bytes exceeds exposed region %d", n, len(b))
+	}
+	return b[:n], nil
+}
+
+// Commit implements Bulk. In-process the bytes are already in place;
+// only the bound is validated.
+func (b SliceBulk) Commit(n int) error {
+	if n > len(b) {
+		return fmt.Errorf("rpc: commit of %d bytes exceeds exposed region %d", n, len(b))
+	}
+	return nil
+}

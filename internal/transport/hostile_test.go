@@ -149,3 +149,96 @@ func TestHostileResponseFailsClientCleanly(t *testing.T) {
 		t.Fatal("condemned connection accepted another call")
 	}
 }
+
+// TestTruncatedMidBulkRequestLeavesServerServing targets the split
+// header/bulk reader: a client that dies after the request header but
+// mid-bulk leaves the server blocked in the bulk ReadFull. The read must
+// fail with the connection — never dispatch a short region — and the
+// server must keep serving other connections.
+func TestTruncatedMidBulkRequestLeavesServerServing(t *testing.T) {
+	srv := newTestServer()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go ServeTCP(l, srv)
+
+	const blen = 64 << 10
+	frame := binary.LittleEndian.AppendUint32(nil, uint32(minRequestLen+4+blen))
+	frame = binary.LittleEndian.AppendUint64(frame, 7)               // reqID
+	frame = binary.LittleEndian.AppendUint16(frame, uint16(opWrite)) // op
+	frame = append(frame, byte(rpc.BulkIn))                          // dir
+	frame = binary.LittleEndian.AppendUint32(frame, 0)               // payloadLen
+	frame = binary.LittleEndian.AppendUint32(frame, blen)            // bulkLen
+	frame = append(frame, make([]byte, blen/2)...)                   // half the bulk, then crash
+
+	conn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+
+	// The daemon survives the truncated stream: a fresh connection works.
+	c, err := DialTCP(l.Addr().String(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	resp, err := c.Call(opEcho, []byte("alive"), nil, rpc.BulkNone)
+	if err != nil || string(resp) != "echo:alive" {
+		t.Fatalf("post-truncation call = %q, %v", resp, err)
+	}
+}
+
+// TestTruncatedMidBulkResponseFailsClient is the mirror image: a server
+// that advertises bulk bytes in the response header but dies before
+// sending them all must fail the waiting call — whose dest buffer the
+// read loop was scattering into — instead of hanging or delivering a
+// short read as success.
+func TestTruncatedMidBulkResponseFailsClient(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	const blen = 64 << 10
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		hdr := make([]byte, 4)
+		if _, err := io.ReadFull(c, hdr); err != nil {
+			return
+		}
+		body := make([]byte, binary.LittleEndian.Uint32(hdr))
+		if _, err := io.ReadFull(c, body); err != nil {
+			return
+		}
+		reqID := binary.LittleEndian.Uint64(body)
+		resp := binary.LittleEndian.AppendUint32(nil, uint32(minResponseLen+4+blen))
+		resp = binary.LittleEndian.AppendUint64(resp, reqID)
+		resp = append(resp, 0)                              // status OK
+		resp = binary.LittleEndian.AppendUint32(resp, 0)    // payloadLen
+		resp = binary.LittleEndian.AppendUint32(resp, blen) // bulkLen
+		resp = append(resp, make([]byte, blen/2)...)        // half the bulk, then crash
+		c.Write(resp)
+	}()
+
+	c, err := DialTCP(l.Addr().String(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Call(opRead, nil, make([]byte, blen), rpc.BulkOut); err == nil {
+		t.Fatal("truncated-mid-bulk response did not surface an error")
+	}
+	if _, err := c.Call(opEcho, []byte("y"), nil, rpc.BulkNone); err == nil {
+		t.Fatal("condemned connection accepted another call")
+	}
+}

@@ -1,0 +1,23 @@
+//go:build unix
+
+package transport
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkShmRoundTrip is the co-located half of the transport-level
+// comparison (see transport_bench_test.go): identical ops and sizes as
+// BenchmarkTCPRoundTrip, but the bulk bytes move through the mapped
+// segment and only headers cross the doorbell socket.
+func BenchmarkShmRoundTrip(b *testing.B) {
+	srv := newBenchServer()
+	sock := startShmServer(b, srv, 0)
+	c, err := DialShmPool(sock, 60*time.Second, 1)
+	if err != nil {
+		b.Skipf("shm transport unavailable: %v", err)
+	}
+	defer c.Close()
+	benchRoundTrip(b, c)
+}

@@ -1,0 +1,34 @@
+//go:build !unix
+
+package transport
+
+import (
+	"errors"
+	"net"
+	"time"
+
+	"repro/internal/rpc"
+)
+
+// DefaultShmSegBytes sizes the per-connection segment when ServeShm is
+// given no explicit size. Unused on this platform.
+const DefaultShmSegBytes = 256 << 20
+
+// ErrShmUnsupported reports that the shared-memory transport needs a
+// Unix platform (mmap'd segment files and Unix-domain doorbell sockets).
+var ErrShmUnsupported = errors.New("transport: shared-memory transport requires a unix platform")
+
+// ServeShm is unavailable on this platform.
+func ServeShm(l net.Listener, srv *rpc.Server, segBytes int) error {
+	return ErrShmUnsupported
+}
+
+// DialShm is unavailable on this platform.
+func DialShm(path string, timeout time.Duration) (rpc.Conn, error) {
+	return nil, ErrShmUnsupported
+}
+
+// DialShmPool is unavailable on this platform.
+func DialShmPool(path string, timeout time.Duration, n int) (rpc.Conn, error) {
+	return nil, ErrShmUnsupported
+}

@@ -1,0 +1,13 @@
+//go:build !unix
+
+package transport
+
+import (
+	"testing"
+
+	"repro/internal/rpc"
+)
+
+// platformConns adds nothing on platforms without the shared-memory
+// transport; the generic suite runs over mem and TCP only.
+func platformConns(*testing.T, *rpc.Server) map[string]rpc.Conn { return nil }

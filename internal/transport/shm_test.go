@@ -1,0 +1,247 @@
+//go:build unix
+
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/rpc"
+)
+
+// startShmServer serves srv on a fresh Unix-domain doorbell socket and
+// returns its path. The socket lives in its own short-named temp dir —
+// t.TempDir can exceed the sockaddr_un path limit on long test names.
+func startShmServer(t testing.TB, srv *rpc.Server, segBytes int) string {
+	t.Helper()
+	dir, err := os.MkdirTemp("", "gkfs-shm-t-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sock := filepath.Join(dir, "d.sock")
+	l, err := net.Listen("unix", sock)
+	if err != nil {
+		os.RemoveAll(dir)
+		t.Fatal(err)
+	}
+	go ServeShm(l, srv, segBytes)
+	t.Cleanup(func() {
+		l.Close()
+		os.RemoveAll(dir)
+	})
+	return sock
+}
+
+// platformConns adds the shared-memory transport to the generic
+// cross-transport suite on platforms that have it.
+func platformConns(t *testing.T, srv *rpc.Server) map[string]rpc.Conn {
+	t.Helper()
+	sock := startShmServer(t, srv, 0)
+	shmConn, err := DialShm(sock, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { shmConn.Close() })
+	poolConn, err := DialShmPool(sock, 5*time.Second, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { poolConn.Close() })
+	return map[string]rpc.Conn{"shm": shmConn, "shm-pool": poolConn}
+}
+
+// TestShmConcurrentBulkStress hammers one doorbell connection with mixed
+// bulk traffic over a deliberately small segment, so callers constantly
+// contend for (and block on) allocator windows. Run under -race this
+// exercises every handoff: caller→segment, daemon in-place handler,
+// segment→caller, and the allocator's block/wake path.
+func TestShmConcurrentBulkStress(t *testing.T) {
+	srv := newTestServer()
+	sock := startShmServer(t, srv, 1<<20) // 1 MiB: a few large calls fill it
+	c, err := DialShm(sock, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const workers = 16
+	const iters = 30
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < iters; i++ {
+				n := 1 + rng.Intn(256<<10) // up to 256 KiB per window
+				if i%2 == 0 {
+					data := make([]byte, n)
+					for j := range data {
+						data[j] = byte(w + j)
+					}
+					var sum uint64
+					for _, b := range data {
+						sum += uint64(b)
+					}
+					resp, err := c.Call(opWrite, nil, data, rpc.BulkIn)
+					if err != nil {
+						t.Errorf("worker %d write: %v", w, err)
+						return
+					}
+					if want := fmt.Sprintf("%d:%d", n, sum); string(resp) != want {
+						t.Errorf("worker %d write: server saw %q, want %q", w, resp, want)
+						return
+					}
+				} else {
+					buf := make([]byte, n)
+					resp, err := c.Call(opRead, nil, buf, rpc.BulkOut)
+					if err != nil || string(resp) != "ok" {
+						t.Errorf("worker %d read: %q, %v", w, resp, err)
+						return
+					}
+					if !bytes.Equal(buf, bytes.Repeat([]byte{0x5A}, n)) {
+						t.Errorf("worker %d read: scattered bytes corrupt", w)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// TestShmBulkExceedsSegment verifies that a transfer that can never fit
+// the segment fails fast instead of deadlocking in the allocator.
+func TestShmBulkExceedsSegment(t *testing.T) {
+	srv := newTestServer()
+	sock := startShmServer(t, srv, 64<<10)
+	c, err := DialShm(sock, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_, err = c.Call(opWrite, nil, make([]byte, 128<<10), rpc.BulkIn)
+	if err == nil || !strings.Contains(err.Error(), "exceeds") {
+		t.Fatalf("oversized bulk: err = %v, want segment-size failure", err)
+	}
+	// The connection itself is unharmed.
+	resp, err := c.Call(opEcho, []byte("still-here"), nil, rpc.BulkNone)
+	if err != nil || string(resp) != "echo:still-here" {
+		t.Fatalf("post-failure call = %q, %v", resp, err)
+	}
+}
+
+// TestShmDaemonCrashFailsPendingCalls drives the crash-mid-bulk contract:
+// a daemon that dies between accepting requests and responding must fail
+// every pending call promptly — the doorbell socket is the liveness
+// signal — and doom the connection for later callers.
+func TestShmDaemonCrashFailsPendingCalls(t *testing.T) {
+	dir, err := os.MkdirTemp("", "gkfs-shm-t-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	sock := filepath.Join(dir, "d.sock")
+	l, err := net.Listen("unix", sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	// A daemon that completes the handshake, swallows one request frame,
+	// then dies mid-conversation.
+	go func() {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		seg, path, err := createShmSegment(1 << 20)
+		if err != nil {
+			conn.Close()
+			return
+		}
+		defer syscall.Munmap(seg)
+		defer os.Remove(path)
+		if err := writeShmHello(conn, path, 1<<20); err != nil {
+			conn.Close()
+			return
+		}
+		var ack [1]byte
+		if _, err := io.ReadFull(conn, ack[:]); err != nil {
+			conn.Close()
+			return
+		}
+		os.Remove(path)
+		io.ReadFull(conn, make([]byte, 16)) // partial read of the first request
+		conn.Close()                        // crash
+	}()
+
+	c, err := DialShm(sock, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const callers = 4
+	errs := make(chan error, callers)
+	for i := 0; i < callers; i++ {
+		go func() {
+			_, err := c.Call(opWrite, nil, make([]byte, 4<<10), rpc.BulkIn)
+			errs <- err
+		}()
+	}
+	for i := 0; i < callers; i++ {
+		select {
+		case err := <-errs:
+			if err == nil {
+				t.Fatal("call against a crashed daemon succeeded")
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("pending call hung after daemon crash")
+		}
+	}
+	// The connection is condemned: later calls fail immediately.
+	if _, err := c.Call(opEcho, []byte("x"), nil, rpc.BulkNone); err == nil {
+		t.Fatal("condemned shm connection accepted another call")
+	}
+}
+
+// TestShmTimeoutReclaimsWindowOnLateResponse checks the zombie-window
+// protocol: a timed-out call's segment window stays reserved (the daemon
+// may still be writing it) until the late response arrives, after which
+// the full segment is allocatable again.
+func TestShmTimeoutReclaimsWindowOnLateResponse(t *testing.T) {
+	srv := newTestServer()
+	const seg = 64 << 10
+	sock := startShmServer(t, srv, seg)
+	c, err := DialShm(sock, 30*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// opSlow sleeps 200 ms, far past the 30 ms call timeout. The call's
+	// window spans the whole segment, so nothing else fits until it is
+	// reclaimed.
+	if _, err := c.Call(opSlow, nil, make([]byte, seg), rpc.BulkIn); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("slow call: err = %v, want ErrTimeout", err)
+	}
+	// This whole-segment call blocks in the allocator until the late
+	// response releases the zombie window (~200 ms), then proceeds.
+	data := make([]byte, seg)
+	resp, err := c.Call(opWrite, nil, data, rpc.BulkIn)
+	if err != nil || string(resp) != fmt.Sprintf("%d:0", seg) {
+		t.Fatalf("post-timeout whole-segment call = %q, %v", resp, err)
+	}
+}

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"bufio"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -24,6 +25,15 @@ import (
 // and server→client only for BulkOut. status 0 is success; status 1
 // carries a handler error message in the payload.
 //
+// Both sides read a frame in two steps — fixed header first, body next —
+// and never join header and bulk on send: the sender hands the kernel a
+// header/bulk iovec pair (net.Buffers, writev) and the receiver
+// demultiplexes the request id from the header *before* the bulk bytes
+// arrive, then reads them straight into their final destination (the
+// caller's buffer on the client, an exactly-sized pooled region on the
+// daemon). Bulk bytes therefore cross user space at most once per
+// direction; there is no joined frame to copy out of.
+//
 // Every length field is validated without arithmetic that can wrap: a
 // frame whose inner lengths disagree with its outer length closes the
 // connection — the stream position is unknowable after a corrupt prefix,
@@ -42,6 +52,40 @@ var ErrTimeout = errors.New("transport: call timed out")
 const minRequestLen = 8 + 2 + 1 + 4 // reqID + op + dir + payloadLen
 const minResponseLen = 8 + 1 + 4    // reqID + status + payloadLen
 
+// readBufSize sizes the per-connection bufio.Reader. Headers and small
+// payloads coalesce into one kernel read; multi-megabyte bulk regions
+// bypass the buffer entirely (io.ReadFull into the destination).
+const readBufSize = 64 << 10
+
+// timerPool recycles call timers. A per-RPC time.NewTimer is measurable
+// garbage at millions of small metadata calls; pooled timers make the
+// timeout path allocation-free.
+var timerPool sync.Pool
+
+// acquireTimer returns a running timer for d. Release with releaseTimer.
+func acquireTimer(d time.Duration) *time.Timer {
+	if v := timerPool.Get(); v != nil {
+		t := v.(*time.Timer)
+		t.Reset(d)
+		return t
+	}
+	return time.NewTimer(d)
+}
+
+// releaseTimer stops t, drains a fire nobody consumed, and pools it. The
+// caller must be the timer's only user.
+func releaseTimer(t *time.Timer) {
+	if !t.Stop() {
+		// Already fired: the tick is either consumed (timeout path) or
+		// still buffered; drain non-blockingly so Reset starts clean.
+		select {
+		case <-t.C:
+		default:
+		}
+	}
+	timerPool.Put(t)
+}
+
 // ServeTCP accepts connections on l and serves srv until l is closed.
 // It returns the first accept error (net.ErrClosed after a clean stop).
 func ServeTCP(l net.Listener, srv *rpc.Server) error {
@@ -54,47 +98,146 @@ func ServeTCP(l net.Listener, srv *rpc.Server) error {
 	}
 }
 
+// request is one decoded request. pbuf and bulkIn are pooled and owned by
+// whoever the reader hands the request to.
+type request struct {
+	id      uint64
+	op      rpc.Op
+	dir     rpc.BulkDir
+	pbuf    []byte // pooled backing of payload (plus the bulk-length word)
+	payload []byte
+	bulkIn  []byte // pooled, exactly-sized BulkIn region (nil otherwise)
+	outLen  int
+	size    int // wire bytes consumed, length prefix included
+}
+
 func serveConn(conn net.Conn, srv *rpc.Server) {
 	defer conn.Close()
 	var wmu sync.Mutex // serializes response frames
+	wire := srv.Wire()
+	br := bufio.NewReaderSize(conn, readBufSize)
 	for {
-		frame, err := readFrame(conn)
+		req, err := readRequest(br)
 		if err != nil {
+			// Clean EOF, a dead peer, or a corrupt/hostile frame: in every
+			// case the stream is unrecoverable — tear the connection down
+			// instead of guessing at the next frame boundary.
 			return
 		}
-		go func(frame []byte) {
-			defer rpc.PutBuf(frame)
-			reqID, op, dir, payload, bulkIn, outLen, err := parseRequest(frame)
-			if err != nil {
-				// Corrupt or hostile frame: the stream is unrecoverable,
-				// tear the connection down instead of guessing.
-				conn.Close()
-				return
-			}
-			bulk := &tcpServerBulk{dir: dir, in: bulkIn, outLen: outLen}
-			resp, herr := srv.Dispatch(op, payload, bulkFor(bulk, dir))
-			writeResponse(conn, &wmu, reqID, resp, bulk.out, herr)
+		wire.FramesIn.Add(1)
+		wire.BytesIn.Add(uint64(req.size))
+		go func(req request) {
+			bulk := &tcpServerBulk{dir: req.dir, in: req.bulkIn, outLen: req.outLen}
+			resp, herr := srv.Dispatch(req.op, req.payload, bulkFor(bulk, req.dir))
+			writeResponse(conn, &wmu, wire, req.id, resp, bulk.committed(), herr)
 			if bulk.out != nil {
 				rpc.PutBuf(bulk.out)
 			}
-		}(frame)
+			rpc.PutBuf(req.pbuf)
+			if req.bulkIn != nil {
+				rpc.PutBuf(req.bulkIn)
+			}
+		}(req)
 	}
+}
+
+// readRequest reads one request off br: fixed header, then payload, then
+// — for BulkIn — the bulk bytes into their own exactly-sized pooled
+// region. The inner lengths must account for the outer length exactly;
+// any disagreement is a corrupt stream.
+func readRequest(br *bufio.Reader) (request, error) {
+	// The length prefix is validated before any further read blocks: a
+	// frame too short to hold the fixed header must close the connection
+	// now, not stall waiting for header bytes that will never come.
+	var pfx [4]byte
+	if _, err := io.ReadFull(br, pfx[:]); err != nil {
+		return request{}, err
+	}
+	rest := binary.LittleEndian.Uint32(pfx[:])
+	if rest > maxFrame {
+		return request{}, errFrameTooBig
+	}
+	if rest < minRequestLen {
+		return request{}, rpc.ErrTruncated
+	}
+	var hdr [minRequestLen]byte // id + op + dir + payloadLen
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return request{}, err
+	}
+	req := request{
+		id:   binary.LittleEndian.Uint64(hdr[0:]),
+		op:   rpc.Op(binary.LittleEndian.Uint16(hdr[8:])),
+		dir:  rpc.BulkDir(hdr[10]),
+		size: 4 + int(rest),
+	}
+	if req.dir > rpc.BulkOut {
+		return request{}, fmt.Errorf("transport: invalid bulk direction %d", req.dir)
+	}
+	plen := binary.LittleEndian.Uint32(hdr[11:])
+	rem := uint64(rest - minRequestLen)
+	if uint64(plen)+4 > rem {
+		return request{}, rpc.ErrTruncated
+	}
+	req.pbuf = rpc.GetBuf(int(plen) + 4)
+	if _, err := io.ReadFull(br, req.pbuf); err != nil {
+		rpc.PutBuf(req.pbuf)
+		return request{}, err
+	}
+	req.payload = req.pbuf[:plen]
+	blen := binary.LittleEndian.Uint32(req.pbuf[plen:])
+	after := rem - uint64(plen) - 4 // wire bytes following the bulk-length word
+	switch req.dir {
+	case rpc.BulkIn:
+		if uint64(blen) != after {
+			rpc.PutBuf(req.pbuf)
+			return request{}, rpc.ErrTruncated
+		}
+		req.bulkIn = rpc.GetBuf(int(blen))
+		if _, err := io.ReadFull(br, req.bulkIn); err != nil {
+			rpc.PutBuf(req.bulkIn)
+			rpc.PutBuf(req.pbuf)
+			return request{}, err
+		}
+	default:
+		if after != 0 {
+			rpc.PutBuf(req.pbuf)
+			return request{}, rpc.ErrTruncated
+		}
+		if req.dir == rpc.BulkOut {
+			// The advertised region is size-only — never materialized, so
+			// a hostile budget cannot force a giant allocation; it is
+			// still bounded by maxFrame because the response must carry
+			// it back.
+			if blen > maxFrame {
+				rpc.PutBuf(req.pbuf)
+				return request{}, errFrameTooBig
+			}
+			req.outLen = int(blen)
+		}
+	}
+	return req, nil
 }
 
 // bulkFor hides the bulk object entirely when no buffer was exposed, so
 // handlers can test for nil.
-func bulkFor(b *tcpServerBulk, dir rpc.BulkDir) rpc.Bulk {
+func bulkFor(b rpc.Bulk, dir rpc.BulkDir) rpc.Bulk {
 	if dir == rpc.BulkNone {
 		return nil
 	}
 	return b
 }
 
-// tcpServerBulk implements rpc.Bulk over the inlined bytes.
+// tcpServerBulk implements rpc.Bulk over the wire regions of one request:
+// `in` is the pooled region the BulkIn bytes were read into (Bytes hands
+// it to the handler without copying), `out` is the pooled region a
+// BulkOut handler fills (Writable) or copies into (Push) — writeResponse
+// sends it as the second element of the response iovec, so the bytes are
+// never re-joined into a frame.
 type tcpServerBulk struct {
 	dir    rpc.BulkDir
 	in     []byte
-	out    []byte
+	out    []byte // allocated at the full outLen budget on first use
+	outN   int    // committed bytes; what travels back
 	outLen int
 }
 
@@ -110,7 +253,10 @@ func (b *tcpServerBulk) Pull(p []byte) error {
 	return nil
 }
 
-// Push implements rpc.Bulk.
+// Push implements rpc.Bulk. The staging buffer is reserved at the full
+// advertised budget once: repeated pushes previously appended past the
+// first push's capacity, growing the slice outside its pool class so a
+// later PutBuf recycled a buffer no GetBuf class owns.
 func (b *tcpServerBulk) Push(p []byte) error {
 	if b.dir != rpc.BulkOut {
 		return errors.New("transport: push into non-BulkOut region")
@@ -119,9 +265,9 @@ func (b *tcpServerBulk) Push(p []byte) error {
 		return fmt.Errorf("transport: bulk push of %d exceeds exposed %d", len(p), b.outLen)
 	}
 	if b.out == nil {
-		b.out = rpc.GetBuf(len(p))
+		b.out = rpc.GetBuf(b.outLen)
 	}
-	b.out = append(b.out[:0], p...)
+	b.outN = copy(b.out, p)
 	return nil
 }
 
@@ -131,6 +277,49 @@ func (b *tcpServerBulk) Len() int {
 		return len(b.in)
 	}
 	return b.outLen
+}
+
+// Bytes implements rpc.Bulk: the handler reads the wire region directly.
+func (b *tcpServerBulk) Bytes() ([]byte, error) {
+	if b.dir != rpc.BulkIn {
+		return nil, errors.New("transport: bytes of non-BulkIn region")
+	}
+	return b.in, nil
+}
+
+// Writable implements rpc.Bulk: the handler fills the outgoing region in
+// place and the response writev sends it as-is.
+func (b *tcpServerBulk) Writable(n int) ([]byte, error) {
+	if b.dir != rpc.BulkOut {
+		return nil, errors.New("transport: writable on non-BulkOut region")
+	}
+	if n > b.outLen {
+		return nil, fmt.Errorf("transport: writable region of %d exceeds exposed %d", n, b.outLen)
+	}
+	if b.out == nil {
+		b.out = rpc.GetBuf(b.outLen)
+	}
+	return b.out[:n], nil
+}
+
+// Commit implements rpc.Bulk.
+func (b *tcpServerBulk) Commit(n int) error {
+	if b.dir != rpc.BulkOut || b.out == nil {
+		return errors.New("transport: commit without a writable region")
+	}
+	if n > len(b.out) {
+		return fmt.Errorf("transport: commit of %d exceeds region %d", n, len(b.out))
+	}
+	b.outN = n
+	return nil
+}
+
+// committed returns the outgoing bulk bytes, nil when there are none.
+func (b *tcpServerBulk) committed() []byte {
+	if b.out == nil {
+		return nil
+	}
+	return b.out[:b.outN]
 }
 
 // DialTCP connects to a server at addr. timeout bounds each call's wait
@@ -143,7 +332,7 @@ func DialTCP(addr string, timeout time.Duration) (rpc.Conn, error) {
 	tc := &tcpConn{
 		conn:    c,
 		timeout: timeout,
-		pending: make(map[uint64]chan tcpResult),
+		pending: make(map[uint64]*pendingCall),
 	}
 	go tc.readLoop()
 	return tc, nil
@@ -156,15 +345,23 @@ type tcpConn struct {
 	wmu sync.Mutex // serializes request frames
 
 	mu      sync.Mutex
-	pending map[uint64]chan tcpResult
+	pending map[uint64]*pendingCall
 	nextID  uint64
 	dead    error
 }
 
+// pendingCall is one in-flight request. dest, for BulkOut calls, is the
+// caller's buffer: the read loop claims the call by id as soon as the
+// response header arrives and reads the bulk bytes straight into dest —
+// the scatter half of the zero-copy wire path. The claim protocol (see
+// abandon) guarantees dest is never written after Call returns.
+type pendingCall struct {
+	ch   chan tcpResult
+	dest []byte
+}
+
 type tcpResult struct {
 	payload []byte
-	bulk    []byte
-	frame   []byte // pooled backing of bulk; recycled by the receiver
 	err     error
 }
 
@@ -173,7 +370,10 @@ func (c *tcpConn) Call(op rpc.Op, payload, bulk []byte, dir rpc.BulkDir) ([]byte
 	if bulk == nil {
 		dir = rpc.BulkNone
 	}
-	ch := make(chan tcpResult, 1)
+	pc := &pendingCall{ch: make(chan tcpResult, 1)}
+	if dir == rpc.BulkOut {
+		pc.dest = bulk
+	}
 	c.mu.Lock()
 	if c.dead != nil {
 		err := c.dead
@@ -182,45 +382,57 @@ func (c *tcpConn) Call(op rpc.Op, payload, bulk []byte, dir rpc.BulkDir) ([]byte
 	}
 	c.nextID++
 	id := c.nextID
-	c.pending[id] = ch
+	c.pending[id] = pc
 	c.mu.Unlock()
 
-	var bulkOut []byte
-	if dir == rpc.BulkIn {
-		bulkOut = bulk
-	}
-	frame := buildRequest(id, op, dir, payload, bulkOut, lenOf(bulk, dir))
+	// Gather on TX: the header (with payload and bulk length) goes out as
+	// one pooled buffer, the bulk bytes straight from the caller's buffer
+	// as the second iovec — they are never copied into a frame.
+	hdr := buildRequestHeader(id, op, dir, payload, lenOf(bulk, dir))
 	c.wmu.Lock()
-	_, err := c.conn.Write(frame)
+	var err error
+	if dir == rpc.BulkIn && len(bulk) > 0 {
+		bufs := net.Buffers{hdr, bulk}
+		_, err = bufs.WriteTo(c.conn)
+	} else {
+		_, err = c.conn.Write(hdr)
+	}
 	c.wmu.Unlock()
-	rpc.PutBuf(frame)
+	rpc.PutBuf(hdr)
 	if err != nil {
-		c.drop(id)
+		if !c.abandon(id) {
+			// The read loop claimed the call between our failed write and
+			// now (a racing response or connection failure); its delivery
+			// is guaranteed, so wait it out before touching dest again.
+			<-pc.ch
+		}
 		return nil, err
 	}
 
-	var timer *time.Timer
 	var timeoutCh <-chan time.Time
+	var timer *time.Timer
 	if c.timeout > 0 {
-		timer = time.NewTimer(c.timeout)
-		defer timer.Stop()
+		timer = acquireTimer(c.timeout)
 		timeoutCh = timer.C
 	}
 	select {
-	case res := <-ch:
-		if res.err != nil {
-			return nil, res.err
+	case res := <-pc.ch:
+		if timer != nil {
+			releaseTimer(timer)
 		}
-		if dir == rpc.BulkOut && len(res.bulk) > 0 {
-			copy(bulk, res.bulk)
-		}
-		if res.frame != nil {
-			rpc.PutBuf(res.frame)
-		}
-		return res.payload, nil
+		return res.payload, res.err
 	case <-timeoutCh:
-		c.drop(id)
-		return nil, fmt.Errorf("%w: call %d op %d after %v", ErrTimeout, id, op, c.timeout)
+		if c.abandon(id) {
+			releaseTimer(timer)
+			return nil, fmt.Errorf("%w: call %d op %d after %v", ErrTimeout, id, op, c.timeout)
+		}
+		// Too late to time out: the read loop already claimed this call
+		// and may be scattering bulk bytes into our dest buffer right
+		// now. Returning would hand the caller a buffer the transport is
+		// still writing — wait for the delivery instead.
+		res := <-pc.ch
+		releaseTimer(timer)
+		return res.payload, res.err
 	}
 }
 
@@ -231,147 +443,164 @@ func lenOf(bulk []byte, dir rpc.BulkDir) int {
 	return len(bulk)
 }
 
-func (c *tcpConn) drop(id uint64) {
+// abandon removes the call from the pending table. It returns false when
+// the read loop already claimed the id — the caller must then wait on the
+// call's channel, because a claimed call always gets a delivery and its
+// dest buffer is in use until it arrives.
+func (c *tcpConn) abandon(id uint64) bool {
 	c.mu.Lock()
+	_, ok := c.pending[id]
 	delete(c.pending, id)
 	c.mu.Unlock()
+	return ok
 }
 
 // Close implements rpc.Conn.
 func (c *tcpConn) Close() error { return c.conn.Close() }
 
+// readLoop demultiplexes responses. Scatter on RX: the fixed header and
+// payload are read first, the request id is resolved to its pending call
+// *before* the bulk bytes arrive, and the bulk is then read directly into
+// the waiting caller's destination buffer — the frame→bulk staging copy
+// this loop used to perform is gone. A late response (timed-out call)
+// has no destination; its bulk bytes are discarded from the stream.
 func (c *tcpConn) readLoop() {
+	br := bufio.NewReaderSize(c.conn, readBufSize)
 	for {
-		frame, err := readFrame(c.conn)
-		if err != nil {
+		// Prefix first, fixed header second — a frame too short for the
+		// header fails now instead of stalling the loop.
+		var pfx [4]byte
+		if _, err := io.ReadFull(br, pfx[:]); err != nil {
 			c.fail(err)
 			return
 		}
-		id, status, payload, bulk, err := parseResponse(frame)
-		if err != nil {
-			rpc.PutBuf(frame)
+		rest := binary.LittleEndian.Uint32(pfx[:])
+		if rest > maxFrame {
+			c.fail(errFrameTooBig)
+			return
+		}
+		if rest < minResponseLen {
+			c.fail(rpc.ErrTruncated)
+			return
+		}
+		var hdr [minResponseLen]byte // id + status + payloadLen
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
 			c.fail(err)
 			return
 		}
+		id := binary.LittleEndian.Uint64(hdr[0:])
+		status := hdr[8]
+		plen := binary.LittleEndian.Uint32(hdr[9:])
+		rem := uint64(rest - minResponseLen)
+		if uint64(plen)+4 > rem {
+			c.fail(rpc.ErrTruncated)
+			return
+		}
+		pbuf := rpc.GetBuf(int(plen) + 4)
+		if _, err := io.ReadFull(br, pbuf); err != nil {
+			rpc.PutBuf(pbuf)
+			c.fail(err)
+			return
+		}
+		blen := binary.LittleEndian.Uint32(pbuf[plen:])
+		if uint64(blen) != rem-uint64(plen)-4 {
+			rpc.PutBuf(pbuf)
+			c.fail(rpc.ErrTruncated)
+			return
+		}
+
 		c.mu.Lock()
-		ch, ok := c.pending[id]
+		pc, ok := c.pending[id]
 		delete(c.pending, id)
 		c.mu.Unlock()
 		if !ok {
-			rpc.PutBuf(frame) // timed-out call's late response
+			// Timed-out call's late response: drain its bulk bytes to keep
+			// the stream framed.
+			rpc.PutBuf(pbuf)
+			if _, err := io.CopyN(io.Discard, br, int64(blen)); err != nil {
+				c.fail(err)
+				return
+			}
 			continue
 		}
 		if status != 0 {
-			msg := string(payload)
-			rpc.PutBuf(frame)
-			ch <- tcpResult{err: &rpc.RemoteError{Msg: msg}}
+			err := &rpc.RemoteError{Msg: string(pbuf[:plen])}
+			rpc.PutBuf(pbuf)
+			if _, derr := io.CopyN(io.Discard, br, int64(blen)); derr != nil {
+				pc.ch <- tcpResult{err: err}
+				c.fail(derr)
+				return
+			}
+			pc.ch <- tcpResult{err: err}
 			continue
 		}
-		// The payload escapes to the caller, so it is copied out of the
-		// pooled frame; the (potentially large) bulk bytes stay in the
-		// frame, which the caller recycles after consuming them.
-		ch <- tcpResult{payload: append([]byte(nil), payload...), bulk: bulk, frame: frame}
+		if blen > 0 {
+			if int64(blen) > int64(len(pc.dest)) {
+				// The server pushed past the region we exposed; trusting
+				// the stream further would scribble out of bounds.
+				err := fmt.Errorf("transport: response bulk %d exceeds exposed region %d", blen, len(pc.dest))
+				rpc.PutBuf(pbuf)
+				pc.ch <- tcpResult{err: err}
+				c.fail(err)
+				return
+			}
+			if _, err := io.ReadFull(br, pc.dest[:blen]); err != nil {
+				rpc.PutBuf(pbuf)
+				pc.ch <- tcpResult{err: err}
+				c.fail(err)
+				return
+			}
+		}
+		// The payload escapes to the caller; copy it off the pooled buffer.
+		pc.ch <- tcpResult{payload: append([]byte(nil), pbuf[:plen]...)}
+		rpc.PutBuf(pbuf)
 	}
 }
 
+// fail marks the connection dead and delivers the failure to every still
+// pending call. Calls the read loop already claimed were (or will be)
+// delivered to directly and are no longer in the table.
 func (c *tcpConn) fail(err error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.dead == nil {
 		c.dead = fmt.Errorf("transport: connection failed: %w", err)
 	}
-	for id, ch := range c.pending {
-		ch <- tcpResult{err: c.dead}
+	for id, pc := range c.pending {
+		pc.ch <- tcpResult{err: c.dead}
 		delete(c.pending, id)
 	}
 }
 
 // --- framing ---
 
-// readFrame reads one length-prefixed frame into a pooled buffer. The
-// caller owns the frame and must release it with rpc.PutBuf.
-func readFrame(r io.Reader) ([]byte, error) {
-	var lenBuf [4]byte
-	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
-		return nil, err
+// buildRequestHeader assembles everything that precedes the bulk bytes —
+// length prefix, fixed fields, payload, bulk length — in a pooled buffer;
+// the caller releases it with rpc.PutBuf after writing it out. The bulk
+// bytes themselves travel as a second iovec (BulkIn) or not at all
+// (BulkOut advertises only the region size the server may push into).
+func buildRequestHeader(id uint64, op rpc.Op, dir rpc.BulkDir, payload []byte, bulkLen int) []byte {
+	inline := 0
+	if dir == rpc.BulkIn {
+		inline = bulkLen
 	}
-	n := binary.LittleEndian.Uint32(lenBuf[:])
-	if n > maxFrame {
-		return nil, errFrameTooBig
-	}
-	frame := rpc.GetBuf(int(n))
-	if _, err := io.ReadFull(r, frame); err != nil {
-		rpc.PutBuf(frame)
-		return nil, err
-	}
-	return frame, nil
-}
-
-// buildRequest assembles a request frame in a pooled buffer; the caller
-// releases it with rpc.PutBuf after writing it out.
-func buildRequest(id uint64, op rpc.Op, dir rpc.BulkDir, payload, bulk []byte, bulkLen int) []byte {
-	rest := minRequestLen + len(payload) + 4 + len(bulk)
-	out := rpc.GetBuf(4 + rest)[:0]
+	rest := minRequestLen + len(payload) + 4 + inline
+	out := rpc.GetBuf(4 + rest - inline)[:0]
 	out = binary.LittleEndian.AppendUint32(out, uint32(rest))
 	out = binary.LittleEndian.AppendUint64(out, id)
 	out = binary.LittleEndian.AppendUint16(out, uint16(op))
 	out = append(out, byte(dir))
 	out = binary.LittleEndian.AppendUint32(out, uint32(len(payload)))
 	out = append(out, payload...)
-	if dir == rpc.BulkIn {
-		out = binary.LittleEndian.AppendUint32(out, uint32(len(bulk)))
-		out = append(out, bulk...)
-	} else {
-		// BulkOut advertises only the region size the server may push into.
-		out = binary.LittleEndian.AppendUint32(out, uint32(bulkLen))
-	}
+	out = binary.LittleEndian.AppendUint32(out, uint32(bulkLen))
 	return out
 }
 
-// parseRequest decodes a request frame. Length fields are checked against
-// the remaining frame without addition, so a length near the u32 maximum
-// cannot wrap past the truncation check (it previously panicked the
-// daemon). For BulkOut the advertised region is size-only — it is never
-// materialized, so a hostile budget cannot force a giant allocation; it
-// is still bounded by maxFrame because the response must carry it back.
-func parseRequest(frame []byte) (id uint64, op rpc.Op, dir rpc.BulkDir, payload, bulk []byte, outLen int, err error) {
-	if len(frame) < minRequestLen {
-		return 0, 0, 0, nil, nil, 0, rpc.ErrTruncated
-	}
-	id = binary.LittleEndian.Uint64(frame)
-	op = rpc.Op(binary.LittleEndian.Uint16(frame[8:]))
-	dir = rpc.BulkDir(frame[10])
-	if dir > rpc.BulkOut {
-		return 0, 0, 0, nil, nil, 0, fmt.Errorf("transport: invalid bulk direction %d", dir)
-	}
-	p := frame[11:]
-	plen := binary.LittleEndian.Uint32(p)
-	p = p[4:]
-	if uint64(plen) > uint64(len(p)) {
-		return 0, 0, 0, nil, nil, 0, rpc.ErrTruncated
-	}
-	payload = p[:plen]
-	p = p[plen:]
-	if len(p) < 4 {
-		return 0, 0, 0, nil, nil, 0, rpc.ErrTruncated
-	}
-	blen := binary.LittleEndian.Uint32(p)
-	p = p[4:]
-	if dir == rpc.BulkIn {
-		if uint64(blen) > uint64(len(p)) {
-			return 0, 0, 0, nil, nil, 0, rpc.ErrTruncated
-		}
-		bulk = p[:blen]
-	} else if dir == rpc.BulkOut {
-		if blen > maxFrame {
-			return 0, 0, 0, nil, nil, 0, errFrameTooBig
-		}
-		outLen = int(blen)
-	}
-	return id, op, dir, payload, bulk, outLen, nil
-}
-
-func writeResponse(conn net.Conn, wmu *sync.Mutex, id uint64, payload, bulk []byte, herr error) {
+// writeResponse sends one response: header (with payload and bulk length)
+// plus, when the handler produced bulk bytes, the bulk region as the
+// second element of a writev — the server-side gather mirroring the
+// client's. bulk is borrowed; the caller still owns its release.
+func writeResponse(conn net.Conn, wmu *sync.Mutex, wire *rpc.WireCounters, id uint64, payload, bulk []byte, herr error) {
 	status := byte(0)
 	if herr != nil {
 		status = 1
@@ -380,54 +609,32 @@ func writeResponse(conn net.Conn, wmu *sync.Mutex, id uint64, payload, bulk []by
 	}
 	rest := minResponseLen + len(payload) + 4 + len(bulk)
 	if rest > maxFrame {
-		// The client's readFrame would reject this frame and condemn the
+		// The client's read loop would reject this frame and condemn the
 		// whole connection; degrade to a per-call error instead.
 		status = 1
 		payload = []byte(errFrameTooBig.Error())
 		bulk = nil
 		rest = minResponseLen + len(payload) + 4
 	}
-	out := rpc.GetBuf(4 + rest)[:0]
-	out = binary.LittleEndian.AppendUint32(out, uint32(rest))
-	out = binary.LittleEndian.AppendUint64(out, id)
-	out = append(out, status)
-	out = binary.LittleEndian.AppendUint32(out, uint32(len(payload)))
-	out = append(out, payload...)
-	out = binary.LittleEndian.AppendUint32(out, uint32(len(bulk)))
-	out = append(out, bulk...)
+	hdr := rpc.GetBuf(4 + minResponseLen + len(payload) + 4)[:0]
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(rest))
+	hdr = binary.LittleEndian.AppendUint64(hdr, id)
+	hdr = append(hdr, status)
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(len(payload)))
+	hdr = append(hdr, payload...)
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(len(bulk)))
 
 	wmu.Lock()
 	// A write error tears down the connection via the read side.
-	_, _ = conn.Write(out)
+	if len(bulk) > 0 {
+		bufs := net.Buffers{hdr, bulk}
+		_, _ = bufs.WriteTo(conn)
+		wire.VectoredWrites.Add(1)
+	} else {
+		_, _ = conn.Write(hdr)
+	}
 	wmu.Unlock()
-	rpc.PutBuf(out)
-}
-
-// parseResponse decodes a response frame with the same wrap-proof length
-// validation as parseRequest (a corrupt response previously panicked the
-// client's read loop).
-func parseResponse(frame []byte) (id uint64, status byte, payload, bulk []byte, err error) {
-	if len(frame) < minResponseLen {
-		return 0, 0, nil, nil, rpc.ErrTruncated
-	}
-	id = binary.LittleEndian.Uint64(frame)
-	status = frame[8]
-	p := frame[9:]
-	plen := binary.LittleEndian.Uint32(p)
-	p = p[4:]
-	if uint64(plen) > uint64(len(p)) {
-		return 0, 0, nil, nil, rpc.ErrTruncated
-	}
-	payload = p[:plen]
-	p = p[plen:]
-	if len(p) < 4 {
-		return 0, 0, nil, nil, rpc.ErrTruncated
-	}
-	blen := binary.LittleEndian.Uint32(p)
-	p = p[4:]
-	if uint64(blen) > uint64(len(p)) {
-		return 0, 0, nil, nil, rpc.ErrTruncated
-	}
-	bulk = p[:blen]
-	return id, status, payload, bulk, nil
+	wire.FramesOut.Add(1)
+	wire.BytesOut.Add(uint64(4 + rest))
+	rpc.PutBuf(hdr)
 }

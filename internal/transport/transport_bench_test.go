@@ -1,0 +1,82 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/rpc"
+)
+
+// Transport-level round-trip benchmarks: the same two ops — a BulkIn
+// region consumed in place and a BulkOut window committed in place —
+// driven over each wire backend, so the MB/s difference is the
+// transport tier alone: no client span logic, no chunk store, handlers
+// that cost the same everywhere. BenchmarkShmRoundTrip (unix only) is
+// the co-located half of the comparison.
+
+const (
+	opBenchSink rpc.Op = 100 + iota // BulkIn: handler takes the wire region in place
+	opBenchFill                     // BulkOut: handler commits the whole window
+)
+
+func newBenchServer() *rpc.Server {
+	s := rpc.NewServer(8)
+	s.Register(opBenchSink, func(_ []byte, bulk rpc.Bulk) ([]byte, error) {
+		if _, err := bulk.Bytes(); err != nil {
+			return nil, err
+		}
+		return nil, nil
+	})
+	s.Register(opBenchFill, func(_ []byte, bulk rpc.Bulk) ([]byte, error) {
+		if _, err := bulk.Writable(bulk.Len()); err != nil {
+			return nil, err
+		}
+		return nil, bulk.Commit(bulk.Len())
+	})
+	return s
+}
+
+// benchRoundTrip drives both bulk directions at a sub-chunk and a
+// multi-megabyte size with GOMAXPROCS concurrent callers per case.
+func benchRoundTrip(b *testing.B, c rpc.Conn) {
+	cases := []struct {
+		name string
+		op   rpc.Op
+		dir  rpc.BulkDir
+	}{{"in", opBenchSink, rpc.BulkIn}, {"out", opBenchFill, rpc.BulkOut}}
+	for _, size := range []int{64 << 10, 4 << 20} {
+		for _, tc := range cases {
+			b.Run(fmt.Sprintf("%s-%dKiB", tc.name, size>>10), func(b *testing.B) {
+				b.SetBytes(int64(size))
+				b.ResetTimer()
+				b.RunParallel(func(pb *testing.PB) {
+					buf := make([]byte, size)
+					for pb.Next() {
+						if _, err := c.Call(tc.op, nil, buf, tc.dir); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				})
+			})
+		}
+	}
+}
+
+func BenchmarkTCPRoundTrip(b *testing.B) {
+	srv := newBenchServer()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	go ServeTCP(l, srv)
+	c, err := DialTCPPool(l.Addr().String(), 60*time.Second, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	benchRoundTrip(b, c)
+}

@@ -84,7 +84,11 @@ func conns(t *testing.T) map[string]rpc.Conn {
 	}
 	t.Cleanup(func() { poolConn.Close() })
 
-	return map[string]rpc.Conn{"mem": memConn, "tcp": tcpConn, "tcp-pool": poolConn}
+	m := map[string]rpc.Conn{"mem": memConn, "tcp": tcpConn, "tcp-pool": poolConn}
+	for name, c := range platformConns(t, srv) {
+		m[name] = c
+	}
+	return m
 }
 
 func TestEcho(t *testing.T) {
