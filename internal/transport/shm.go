@@ -8,6 +8,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net"
 	"os"
 	"sort"
@@ -119,6 +120,11 @@ func serveShmConn(conn net.Conn, srv *rpc.Server, segBytes int) {
 	}
 	defer syscall.Munmap(seg)
 	defer os.Remove(path) // no-op once the post-ack unlink below ran
+	// Handler goroutines hold slices into seg until their response is
+	// written; a client crashing with requests in flight must not unmap
+	// the segment out from under them. LIFO defers: wait runs first.
+	var handlers sync.WaitGroup
+	defer handlers.Wait()
 	if err := writeShmHello(conn, path, segBytes); err != nil {
 		return
 	}
@@ -139,7 +145,9 @@ func serveShmConn(conn net.Conn, srv *rpc.Server, segBytes int) {
 		wire.FramesIn.Add(1)
 		wire.BytesIn.Add(uint64(req.size))
 		wire.ShmCalls.Add(1)
+		handlers.Add(1)
 		go func(req request, off, blen int) {
+			defer handlers.Done()
 			var region []byte
 			if req.dir != rpc.BulkNone {
 				region = seg[off : off+blen]
@@ -155,6 +163,18 @@ func serveShmConn(conn net.Conn, srv *rpc.Server, segBytes int) {
 // readShmRequest reads one doorbell request. The bulk window is validated
 // against the segment bounds without wrappable arithmetic: a hostile
 // offset/length pair is a corrupt stream, not an out-of-bounds slice.
+//
+// Windows are NOT validated against each other: like an RDMA peer that
+// registers overlapping memory regions, a client issuing concurrent
+// requests over overlapping [off, off+len) windows gets racy reads and
+// writes of its own segment bytes. That is accepted behavior — the
+// segment is private to the one misbehaving connection, handlers only
+// ever dereference memory inside the mapping, and daemon state (chunk
+// files, metadata) stays consistent because handlers treat window
+// contents as untrusted input; only that client's own data can come out
+// scrambled. Tracking in-flight windows server-side would put a lock
+// and an interval set on every call for no protection the client cannot
+// already get by allocating correctly.
 func readShmRequest(br *bufio.Reader, segSize uint64) (request, int, int, error) {
 	// Prefix first, fixed header second — a frame too short for the
 	// header fails now instead of stalling the loop.
@@ -295,7 +315,11 @@ func readShmHello(conn net.Conn) (segPath string, segBytes int, err error) {
 		return "", 0, err
 	}
 	size := binary.LittleEndian.Uint64(buf)
-	if size == 0 || size > 1<<40 {
+	// The int conversion below must not truncate: on 32-bit unix
+	// platforms int is 32 bits, so a size that only fits in int64 would
+	// wrap or go negative and the client would mmap against a bogus
+	// length instead of rejecting the hello.
+	if size == 0 || size > 1<<40 || size > uint64(math.MaxInt) {
 		return "", 0, fmt.Errorf("transport: implausible shm segment size %d", size)
 	}
 	return string(buf[8:]), int(size), nil
@@ -428,7 +452,7 @@ func (c *shmConn) Call(op rpc.Op, payload, bulk []byte, dir rpc.BulkDir) ([]byte
 	if dir != rpc.BulkNone {
 		n = len(bulk)
 		var err error
-		off, err = c.alloc.acquire(n)
+		off, err = c.alloc.acquire(n, c.timeout)
 		if err != nil {
 			return nil, err
 		}
@@ -658,10 +682,27 @@ func newSegAlloc(size int) *segAlloc {
 }
 
 // acquire reserves an n-byte window, blocking until one frees up. It
-// fails fast when n can never fit or the connection died.
-func (a *segAlloc) acquire(n int) (int, error) {
+// fails fast when n can never fit or the connection died, and gives up
+// with ErrTimeout after timeout (zero means wait without limit) — a
+// stalled daemon parks windows as zombies, and without a bound here the
+// exhausted segment would hang every later bulk call inside acquire
+// instead of letting it report the timeout.
+func (a *segAlloc) acquire(n int, timeout time.Duration) (int, error) {
 	if n == 0 {
 		return 0, nil
+	}
+	var deadline time.Time
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+		// The broadcast takes the lock so the fire cannot slip between a
+		// waiter's deadline check and its cond.Wait and be lost.
+		t := time.AfterFunc(timeout, func() {
+			a.mu.Lock()
+			//lint:ignore SA2001 empty critical section orders the broadcast after any in-progress deadline check
+			a.mu.Unlock()
+			a.cond.Broadcast()
+		})
+		defer t.Stop()
 	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
@@ -682,6 +723,9 @@ func (a *segAlloc) acquire(n int) (int, error) {
 				}
 				return off, nil
 			}
+		}
+		if timeout > 0 && !time.Now().Before(deadline) {
+			return 0, fmt.Errorf("%w: waited %v for a %d-byte shm window", ErrTimeout, timeout, n)
 		}
 		a.cond.Wait()
 	}

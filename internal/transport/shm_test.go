@@ -237,11 +237,89 @@ func TestShmTimeoutReclaimsWindowOnLateResponse(t *testing.T) {
 	if _, err := c.Call(opSlow, nil, make([]byte, seg), rpc.BulkIn); !errors.Is(err, ErrTimeout) {
 		t.Fatalf("slow call: err = %v, want ErrTimeout", err)
 	}
-	// This whole-segment call blocks in the allocator until the late
-	// response releases the zombie window (~200 ms), then proceeds.
-	data := make([]byte, seg)
-	resp, err := c.Call(opWrite, nil, data, rpc.BulkIn)
-	if err != nil || string(resp) != fmt.Sprintf("%d:0", seg) {
-		t.Fatalf("post-timeout whole-segment call = %q, %v", resp, err)
+	// While the zombie still owns the segment, a whole-segment call
+	// cannot acquire a window: the allocator is bounded by the call
+	// timeout and reports ErrTimeout instead of hanging forever.
+	if _, err := c.Call(opWrite, nil, make([]byte, seg), rpc.BulkIn); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("exhausted-segment call: err = %v, want ErrTimeout", err)
+	}
+	// Once the late response lands (~200 ms in) the window returns to
+	// the allocator and the full segment is usable again.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := c.Call(opWrite, nil, make([]byte, seg), rpc.BulkIn)
+		if err == nil {
+			if want := fmt.Sprintf("%d:0", seg); string(resp) != want {
+				t.Fatalf("post-timeout whole-segment call = %q, want %q", resp, want)
+			}
+			break
+		}
+		if !errors.Is(err, ErrTimeout) || time.Now().After(deadline) {
+			t.Fatalf("post-timeout whole-segment call: %v", err)
+		}
+	}
+}
+
+// TestSegAllocAcquireTimeout pins the allocator's own timeout contract:
+// a waiter on an exhausted segment gets ErrTimeout after the bound
+// rather than blocking until some other call releases a window.
+func TestSegAllocAcquireTimeout(t *testing.T) {
+	a := newSegAlloc(1 << 10)
+	off, err := a.acquire(1<<10, time.Second)
+	if err != nil || off != 0 {
+		t.Fatalf("acquire full segment = %d, %v", off, err)
+	}
+	start := time.Now()
+	if _, err := a.acquire(1, 50*time.Millisecond); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("exhausted acquire: err = %v, want ErrTimeout", err)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("exhausted acquire took %v, want ~50ms", d)
+	}
+	a.release(off, 1<<10)
+	if _, err := a.acquire(1, 50*time.Millisecond); err != nil {
+		t.Fatalf("acquire after release: %v", err)
+	}
+}
+
+// TestShmClientCrashMidDispatchKeepsDaemonAlive covers the unmap race:
+// the client dies with a request in flight while the daemon handler
+// still holds a slice into the mapped segment. serveShmConn must drain
+// handlers before munmapping — otherwise the handler's late Push below
+// writes unmapped memory, a SIGSEGV that would kill this whole process.
+func TestShmClientCrashMidDispatchKeepsDaemonAlive(t *testing.T) {
+	const opSlowRead rpc.Op = 99
+	srv := newTestServer()
+	srv.Register(opSlowRead, func(_ []byte, bulk rpc.Bulk) ([]byte, error) {
+		time.Sleep(150 * time.Millisecond) // the client crashes in here
+		out := bytes.Repeat([]byte{0xA5}, bulk.Len())
+		if err := bulk.Push(out); err != nil {
+			return nil, err
+		}
+		return []byte("ok"), nil
+	})
+	sock := startShmServer(t, srv, 1<<20)
+	c, err := DialShm(sock, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		c.Call(opSlowRead, nil, make([]byte, 64<<10), rpc.BulkOut)
+	}()
+	time.Sleep(30 * time.Millisecond) // request reaches the daemon; handler is asleep
+	c.Close()                         // crash with the dispatch in flight
+	<-done
+	time.Sleep(300 * time.Millisecond) // handler wakes and pushes into the segment
+	// The daemon survived and still serves fresh clients.
+	c2, err := DialShm(sock, 5*time.Second)
+	if err != nil {
+		t.Fatalf("redial after client crash: %v", err)
+	}
+	defer c2.Close()
+	resp, err := c2.Call(opEcho, []byte("alive"), nil, rpc.BulkNone)
+	if err != nil || string(resp) != "echo:alive" {
+		t.Fatalf("daemon after client crash: %q, %v", resp, err)
 	}
 }
