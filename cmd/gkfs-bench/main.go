@@ -8,10 +8,12 @@
 //	gkfs-bench -mode ior -daemons host1:7777,host2:7777 -workers 16 ...
 //	gkfs-bench -mode stage -nodes 4 -stage-large 256MiB -files 2000
 //	gkfs-bench -mode read -daemons ... -workers 1 -block 64MiB -transfer 256KiB
+//	gkfs-bench -mode io -daemons ... -replicas 2 -block 64MiB -io-copy /tmp/truth.dat
 package main
 
 import (
 	"bytes"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -28,6 +30,7 @@ import (
 	"repro/internal/client"
 	"repro/internal/core"
 	"repro/internal/distributor"
+	"repro/internal/proto"
 	"repro/internal/staging"
 	"repro/internal/workload"
 )
@@ -52,7 +55,7 @@ func parseSize(s string) (int64, error) {
 }
 
 func main() {
-	mode := flag.String("mode", "mdtest", "workload: mdtest | ior | stage | read")
+	mode := flag.String("mode", "mdtest", "workload: mdtest | ior | stage | read | io")
 	daemons := flag.String("daemons", "", "existing TCP deployment (comma-separated); empty = in-process cluster")
 	nodes := flag.Int("nodes", 4, "in-process cluster node count")
 	chunkFlag := flag.String("chunk", "512KiB", "chunk size")
@@ -69,6 +72,7 @@ func main() {
 	readwindow := flag.Int("readwindow", 0, "readahead: in-flight prefetch span fetches per descriptor, 4 chunks each (0 = default)")
 	cacheFlag := flag.String("cachebytes", "0", "client chunk cache size (0 = default when read-ahead is on)")
 	connsN := flag.Int("conns", 1, "striped transport connections per daemon")
+	replicas := flag.Int("replicas", 1, "chunk replication factor R: write each chunk to R daemons, read with hedging/failover (metadata is not replicated)")
 	transportMode := flag.String("transport", "auto", "with -daemons: auto | tcp | shm (auto takes a daemon's shared-memory fast path when it is reachable from this node)")
 	distName := flag.String("distributor", "simplehash", "placement pattern: simplehash | guided-first-chunk")
 	batch := flag.Int("batch", 0, "mdtest: ops per batched metadata RPC (0/1 = per-op protocol)")
@@ -78,6 +82,9 @@ func main() {
 	stageSrc := flag.String("stage-src", "", "stage: existing source tree (empty = generate a mixed tree)")
 	stageLarge := flag.String("stage-large", "64MiB", "stage: generated large-file size")
 	stageSmall := flag.String("stage-small", "4KiB", "stage: generated small-file size (count = -files)")
+	ioPath := flag.String("io-path", "/io-bench/stream.dat", "io: file path inside the deployment")
+	ioCopy := flag.String("io-copy", "", "io: also save the exact byte stream to this local file (ground truth for an external cmp)")
+	ioDelay := flag.Duration("io-delay", 0, "io: pause between transfers, stretching the write phase so an external fault can land mid-stream")
 	flag.Parse()
 
 	chunk, err := parseSize(*chunkFlag)
@@ -104,6 +111,7 @@ func main() {
 	if *daemons == "" {
 		cluster, err := core.NewCluster(core.Config{
 			Nodes: *nodes, ChunkSize: chunk, SizeCacheOps: *sizeCache, Conns: *connsN,
+			Replicas:    *replicas,
 			AsyncWrites: *async, WriteWindow: *window,
 			ReadAhead: *readahead, ReadWindow: *readwindow, CacheBytes: cacheBytes,
 			Distributor: *distName, DataDir: *dataDir, SyncWAL: *syncWAL,
@@ -122,12 +130,13 @@ func main() {
 			log.Fatalf("gkfs-bench: %v", err)
 		}
 		factory = func() (*client.Client, error) {
-			conns, err := client.DialDaemons(addrs, *transportMode, 60*time.Second, *connsN)
+			conns, err := client.DialDaemons(addrs, *transportMode, 60*time.Second, *connsN, *replicas)
 			if err != nil {
 				return nil, err
 			}
 			c, err := client.New(client.Config{
 				Conns: conns, Dist: dist, ChunkSize: chunk, SizeCacheOps: *sizeCache,
+				Replicas:    *replicas,
 				AsyncWrites: *async, WriteWindow: *window,
 				ReadAhead: *readahead, ReadWindow: *readwindow, CacheBytes: cacheBytes,
 			})
@@ -213,6 +222,21 @@ func main() {
 		}
 		if err := runReadSweep(factory, readSweepConfig{
 			Workers: *workers, BlockBytes: block, TransferBytes: transfer,
+		}); err != nil {
+			log.Fatalf("gkfs-bench: %v", err)
+		}
+	case "io":
+		block, err := parseSize(*blockFlag)
+		if err != nil {
+			log.Fatal(err)
+		}
+		transfer, err := parseSize(*transferFlag)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := runIO(factory, ioConfig{
+			Path: *ioPath, Bytes: block, Transfer: transfer,
+			Delay: *ioDelay, Copy: *ioCopy,
 		}); err != nil {
 			log.Fatalf("gkfs-bench: %v", err)
 		}
@@ -352,6 +376,123 @@ func generateStageTree(dir string, largeBytes, smallBytes int64, smallFiles int)
 	total += largeBytes/2 + int64(len(tail))
 	files++
 	return total, files, nil
+}
+
+// ioConfig shapes the fault-injection I/O workload: one deterministic
+// pseudo-random stream written, closed and read back through the same
+// mount.
+type ioConfig struct {
+	Path     string        // file path inside the deployment
+	Bytes    int64         // stream length
+	Transfer int64         // bytes per Write/Read call
+	Delay    time.Duration // pause between transfers (stretches the write phase)
+	Copy     string        // local ground-truth copy; empty = none
+}
+
+// runIO streams cfg.Bytes of seeded pseudo-random data into cfg.Path,
+// closes the descriptor (the write barrier), then reads every byte back
+// and compares it against the regenerated stream. It exists for CI's
+// kill-a-daemon-mid-stream smoke: run it in the background with
+// -replicas 2, kill -9 one daemon during the write phase, and it must
+// still finish with "io: verify OK" plus nonzero hedged/condemned
+// counters on the replication line — while the same kill under
+// -replicas 1 must fail it. -io-copy mirrors the exact byte stream to a
+// local file so an external `gkfs-shell get` can be cmp'd against
+// ground truth, and -io-delay stretches the write phase so an external
+// fault injector has a window to land in.
+func runIO(factory workload.ClientFactory, cfg ioConfig) error {
+	c, err := factory()
+	if err != nil {
+		return err
+	}
+	var truth *os.File
+	if cfg.Copy != "" {
+		if truth, err = os.Create(cfg.Copy); err != nil {
+			return err
+		}
+	}
+	// Create the ancestor directories so namespace walkers (gkfs-fsck,
+	// ls) can reach the file — the flat namespace itself would happily
+	// serve the path without them.
+	for i := 1; i < len(cfg.Path); i++ {
+		if cfg.Path[i] == '/' {
+			if err := c.Mkdir(cfg.Path[:i]); err != nil && !errors.Is(err, proto.ErrExist) {
+				return err
+			}
+		}
+	}
+	rng := rand.New(rand.NewSource(42))
+	buf := make([]byte, cfg.Transfer)
+	fd, err := c.Open(cfg.Path, client.O_WRONLY|client.O_CREATE|client.O_TRUNC)
+	if err != nil {
+		return err
+	}
+	begin := time.Now()
+	var off int64
+	for off < cfg.Bytes {
+		n := min(cfg.Transfer, cfg.Bytes-off)
+		rng.Read(buf[:n])
+		if _, err := c.WriteAt(fd, buf[:n], off); err != nil {
+			return fmt.Errorf("write at %d: %w", off, err)
+		}
+		if truth != nil {
+			if _, err := truth.Write(buf[:n]); err != nil {
+				return err
+			}
+		}
+		off += n
+		if cfg.Delay > 0 {
+			time.Sleep(cfg.Delay)
+		}
+	}
+	if err := c.Close(fd); err != nil {
+		return fmt.Errorf("close: %w", err)
+	}
+	if truth != nil {
+		if err := truth.Close(); err != nil {
+			return err
+		}
+	}
+	el := time.Since(begin)
+	fmt.Printf("io: wrote %d bytes to %s (%.1f MiB/s)\n",
+		off, cfg.Path, float64(off)/(1<<20)/el.Seconds())
+
+	// Read back against the regenerated stream.
+	rng = rand.New(rand.NewSource(42))
+	want := make([]byte, cfg.Transfer)
+	got := make([]byte, cfg.Transfer)
+	fd, err = c.Open(cfg.Path, client.O_RDONLY)
+	if err != nil {
+		return err
+	}
+	defer c.Close(fd)
+	for off = 0; off < cfg.Bytes; {
+		n := min(cfg.Transfer, cfg.Bytes-off)
+		rng.Read(want[:n])
+		m := int64(0)
+		for m < n {
+			k, rerr := c.ReadAt(fd, got[m:n], off+m)
+			m += int64(k)
+			if rerr == io.EOF {
+				break
+			}
+			if rerr != nil {
+				return fmt.Errorf("read at %d: %w", off+m, rerr)
+			}
+		}
+		if m != n {
+			return fmt.Errorf("io: verify FAILED: short read at offset %d (%d of %d bytes)", off, m, n)
+		}
+		if !bytes.Equal(want[:n], got[:n]) {
+			return fmt.Errorf("io: verify FAILED: bytes at offset %d differ", off)
+		}
+		off += n
+	}
+	cs := c.Stats()
+	fmt.Printf("replication: hedged=%d failover=%d replica-writes=%d condemned=%d\n",
+		cs.HedgedReads, cs.FailoverReads, cs.ReplicaWrites, cs.CondemnedDaemons)
+	fmt.Printf("io: verify OK (%d bytes)\n", cfg.Bytes)
+	return nil
 }
 
 // readSweepConfig shapes the sequential-read sweep: each worker streams

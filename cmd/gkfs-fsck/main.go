@@ -11,7 +11,11 @@
 //   - with -manifest, a staging manifest cross-checks against live
 //     cluster metadata: every recorded entry must exist with the
 //     recorded kind and size (missing or mismatched entries are
-//     problems — staged input that silently vanished or shrank).
+//     problems — staged input that silently vanished or shrank),
+//   - with -replicas R > 1, replica agreement: each probed chunk is
+//     read directly from every daemon of its replica chain and the
+//     copies byte-compared (a daemon that missed writes while it was
+//     down shows up here as replica disagreement).
 //
 // Inconsistencies are reported, not repaired — GekkoFS has no fsck in
 // the repair sense; a temporary file system is redeployed instead.
@@ -20,6 +24,7 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
@@ -27,18 +32,24 @@ import (
 	"time"
 
 	"repro/internal/client"
+	"repro/internal/distributor"
 	"repro/internal/meta"
+	"repro/internal/proto"
 	"repro/internal/rpc"
 	"repro/internal/staging"
 	"repro/internal/transport"
 )
 
 type checker struct {
-	c     *client.Client
-	deep  bool
-	chunk int64
+	c        *client.Client
+	deep     bool
+	chunk    int64
+	replicas int
+	conns    []rpc.Conn
+	dist     distributor.Distributor
 
 	dirs, files, bytes int64
+	replicaChunks      int64
 	problems           int
 }
 
@@ -80,6 +91,7 @@ func (ck *checker) walk(dir string) {
 				path, e.Size, info.Size())
 		}
 		ck.checkData(path, info.Size())
+		ck.checkReplicas(path, info.Size())
 	}
 }
 
@@ -120,6 +132,85 @@ func (ck *checker) checkData(path string, size int64) {
 		probe(mid, min64(ck.chunk, size-mid))
 		tail := (size - 1) / ck.chunk * ck.chunk
 		probe(tail, size-tail)
+	}
+}
+
+// readChunkFrom reads [0, n) of one chunk of path directly from one
+// daemon — bypassing the client's placement so a specific replica can be
+// interrogated. Bytes past the daemon's last present byte read as zeros,
+// exactly as the client-side protocol guarantees, so two full-chunk
+// reads from agreeing replicas are byte-identical even when their chunk
+// files have different physical lengths.
+func (ck *checker) readChunkFrom(node int, path string, id meta.ChunkID, n int64) ([]byte, error) {
+	e := rpc.NewEnc(len(path) + 37)
+	e.Str(path)
+	proto.EncodeSpans(e, []proto.ChunkSpan{{ID: id, Off: 0, Len: n}})
+	buf := make([]byte, n)
+	payload, err := ck.conns[node].Call(proto.OpReadChunks, e.Bytes(), buf, rpc.BulkOut)
+	if err != nil {
+		return nil, err
+	}
+	d := rpc.NewDec(payload)
+	if errno := proto.Errno(d.U16()); errno != proto.OK {
+		return nil, errno.Err()
+	}
+	if cnt := d.U32(); cnt != 1 {
+		return nil, fmt.Errorf("reply carries %d spans, want 1", cnt)
+	}
+	got := d.I64()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	if got < 0 || got > n {
+		return nil, fmt.Errorf("reply claims %d present bytes of a %d-byte span", got, n)
+	}
+	return buf, nil
+}
+
+// checkReplicas byte-compares the replica copies of a file's probed
+// chunks (first, middle and last; every chunk with -deep). Replication
+// has no re-sync: a daemon that was down while chunks it hosts were
+// written serves stale or missing bytes after it rejoins, and this check
+// is how that shows up before a read does.
+func (ck *checker) checkReplicas(path string, size int64) {
+	if ck.replicas <= 1 || size == 0 {
+		return
+	}
+	check := func(id meta.ChunkID) {
+		n := min64(ck.chunk, size-int64(id)*ck.chunk)
+		chain := ck.dist.ChunkReplicas(path, id, ck.replicas)
+		var ref []byte
+		refNode := -1
+		for _, node := range chain {
+			buf, err := ck.readChunkFrom(node, path, id, n)
+			if err != nil {
+				ck.problem("replica read %s chunk %d from daemon %d: %v", path, id, node, err)
+				continue
+			}
+			if ref == nil {
+				ref, refNode = buf, node
+				continue
+			}
+			if !bytes.Equal(ref, buf) {
+				ck.problem("replica disagreement: %s chunk %d differs between daemons %d and %d",
+					path, id, refNode, node)
+			}
+		}
+		ck.replicaChunks++
+	}
+	last := meta.ChunkID((size - 1) / ck.chunk)
+	if ck.deep {
+		for id := meta.ChunkID(0); id <= last; id++ {
+			check(id)
+		}
+		return
+	}
+	check(0)
+	if last > 0 {
+		if mid := meta.ChunkID((size / 2) / ck.chunk); mid != 0 && mid != last {
+			check(mid)
+		}
+		check(last)
 	}
 }
 
@@ -169,10 +260,17 @@ func main() {
 	root := flag.String("root", "/", "subtree to check")
 	deep := flag.Bool("deep", false, "read every byte instead of probing")
 	manifest := flag.String("manifest", "", "cross-check this staging manifest against live cluster metadata")
+	replicas := flag.Int("replicas", 1, "deployment's chunk replication factor R; R > 1 adds the replica-agreement check")
+	distName := flag.String("distributor", "simplehash", "placement pattern the deployment uses: simplehash | guided-first-chunk")
 	timeout := flag.Duration("timeout", 60*time.Second, "per-RPC timeout")
 	flag.Parse()
 
 	addrs := strings.Split(*daemons, ",")
+	dist, err := distributor.New(*distName, len(addrs))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gkfs-fsck: %v\n", err)
+		os.Exit(1)
+	}
 	conns := make([]rpc.Conn, len(addrs))
 	for i, a := range addrs {
 		conn, err := transport.DialTCP(strings.TrimSpace(a), *timeout)
@@ -183,7 +281,7 @@ func main() {
 		defer conn.Close()
 		conns[i] = conn
 	}
-	c, err := client.New(client.Config{Conns: conns, ChunkSize: *chunk})
+	c, err := client.New(client.Config{Conns: conns, Dist: dist, ChunkSize: *chunk})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "gkfs-fsck: %v\n", err)
 		os.Exit(1)
@@ -193,7 +291,7 @@ func main() {
 		os.Exit(1)
 	}
 
-	ck := &checker{c: c, deep: *deep, chunk: *chunk}
+	ck := &checker{c: c, deep: *deep, chunk: *chunk, replicas: *replicas, conns: conns, dist: dist}
 	begin := time.Now()
 	ck.walk(*root)
 	if *manifest != "" {
@@ -203,6 +301,9 @@ func main() {
 			os.Exit(1)
 		}
 		ck.checkManifest(mf, *root)
+	}
+	if ck.replicas > 1 {
+		fmt.Printf("replicas: byte-compared %d chunks across %d-way chains\n", ck.replicaChunks, ck.replicas)
 	}
 	fmt.Printf("checked %d dirs, %d files, %d bytes in %v: %d problems\n",
 		ck.dirs, ck.files, ck.bytes, time.Since(begin).Round(time.Millisecond), ck.problems)

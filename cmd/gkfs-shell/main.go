@@ -36,6 +36,7 @@ func main() {
 	chunk := flag.Int64("chunk", meta.DefaultChunkSize, "chunk size in bytes (must match the daemons)")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-RPC timeout")
 	connsN := flag.Int("conns", 1, "striped transport connections per daemon")
+	replicas := flag.Int("replicas", 1, "chunk replication factor R: write each chunk to R daemons, read with hedging/failover (must match the deployment's other clients; metadata is not replicated)")
 	transportMode := flag.String("transport", "auto", "daemon transport: auto | tcp | shm (auto takes a daemon's shared-memory fast path when it is reachable from this node)")
 	async := flag.Bool("async", false, "write-behind pipeline for put: writes return immediately, close is the barrier")
 	window := flag.Int("window", 0, "async: in-flight chunk-RPC window per descriptor (0 = default)")
@@ -57,7 +58,7 @@ func main() {
 	if err != nil {
 		fatal("%v", err)
 	}
-	conns, err := client.DialDaemons(addrs, *transportMode, *timeout, *connsN)
+	conns, err := client.DialDaemons(addrs, *transportMode, *timeout, *connsN, *replicas)
 	if err != nil {
 		fatal("%v", err)
 	}
@@ -65,7 +66,7 @@ func main() {
 		defer conn.Close()
 	}
 	c, err := client.New(client.Config{
-		Conns: conns, Dist: dist, ChunkSize: *chunk,
+		Conns: conns, Dist: dist, ChunkSize: *chunk, Replicas: *replicas,
 		AsyncWrites: *async, WriteWindow: *window,
 		ReadAhead: *readahead, ReadWindow: *readwindow, CacheBytes: *cachebytes,
 	})
@@ -223,21 +224,21 @@ func main() {
 			fatal("stats: %v", err)
 		}
 		var total proto.DaemonStats
-		fmt.Printf("%-6s %10s %10s %10s %10s %10s %10s %12s %12s %10s %12s %10s %10s %10s\n",
+		fmt.Printf("%-6s %10s %10s %10s %10s %10s %10s %12s %12s %10s %12s %10s %10s %10s %10s\n",
 			"daemon", "creates", "stats", "removes", "sizeupd", "writes", "reads",
-			"bytes-in", "bytes-out", "rspans", "pushed", "readdirs", "batchrpcs", "batchops")
+			"bytes-in", "bytes-out", "rspans", "pushed", "readdirs", "batchrpcs", "batchops", "repwrites")
 		for i, st := range sts {
 			total.Add(st)
-			fmt.Printf("%-6d %10d %10d %10d %10d %10d %10d %12d %12d %10d %12d %10d %10d %10d\n",
+			fmt.Printf("%-6d %10d %10d %10d %10d %10d %10d %12d %12d %10d %12d %10d %10d %10d %10d\n",
 				i, st.Creates, st.StatOps, st.Removes, st.SizeUpdates, st.WriteOps, st.ReadOps,
 				st.WriteBytes, st.ReadBytes, st.ReadSpans, st.ReadBytesPushed,
-				st.ReadDirs, st.BatchRPCs, st.BatchedOps)
+				st.ReadDirs, st.BatchRPCs, st.BatchedOps, st.ReplicaWrites)
 		}
-		fmt.Printf("%-6s %10d %10d %10d %10d %10d %10d %12d %12d %10d %12d %10d %10d %10d\n",
+		fmt.Printf("%-6s %10d %10d %10d %10d %10d %10d %12d %12d %10d %12d %10d %10d %10d %10d\n",
 			"total", total.Creates, total.StatOps, total.Removes, total.SizeUpdates,
 			total.WriteOps, total.ReadOps, total.WriteBytes, total.ReadBytes,
 			total.ReadSpans, total.ReadBytesPushed,
-			total.ReadDirs, total.BatchRPCs, total.BatchedOps)
+			total.ReadDirs, total.BatchRPCs, total.BatchedOps, total.ReplicaWrites)
 		fmt.Printf("rpcs: meta=%d chunk=%d batched-ops=%d\n",
 			total.MetaRPCs(), total.WriteOps+total.ReadOps, total.BatchedOps)
 		if total.ReadOps > 0 {
@@ -258,6 +259,15 @@ func main() {
 		fmt.Printf("wire: frames in=%d out=%d, bytes in=%d out=%d, vectored=%d, shm-calls=%d\n",
 			total.FramesIn, total.FramesOut, total.WireBytesIn, total.WireBytesOut,
 			total.VectoredWrites, total.ShmCalls)
+		// Replication health as seen from this mount: hedged counts every
+		// read that raced a second replica (latency-triggered or
+		// error-triggered; failover is the error subset), replica-writes
+		// the non-primary copies this client pushed, condemned the daemons
+		// currently skipped and awaiting re-probe. A condemned daemon also
+		// reports an all-zero row above — stats RPCs skip it too.
+		cs := c.Stats()
+		fmt.Printf("replication: hedged=%d failover=%d replica-writes=%d condemned=%d\n",
+			cs.HedgedReads, cs.FailoverReads, cs.ReplicaWrites, cs.CondemnedDaemons)
 	default:
 		usage()
 	}
@@ -285,7 +295,7 @@ commands:
   stats                print per-daemon operation counters
 staging flags:   -stage-workers n, -manifest file, -incremental
 read flags:      -readahead, -readwindow n, -cachebytes n
-transport flags: -transport auto|tcp|shm, -conns n`)
+transport flags: -transport auto|tcp|shm, -conns n, -replicas n`)
 	os.Exit(2)
 }
 

@@ -51,6 +51,11 @@ var (
 	ErrNotSupported = proto.ErrNotSupported
 	// ErrBadFD reports a closed or unknown descriptor.
 	ErrBadFD = client.ErrBadFD
+	// ErrDegraded reports that no live replica of a needed chunk
+	// survives: every daemon in the chunk's replica chain is condemned
+	// or failing. Only reachable with WithReplicas(r > 1); with a single
+	// copy a dead daemon surfaces as a plain transport error instead.
+	ErrDegraded = client.ErrDegraded
 )
 
 // Open flags, re-exported for OpenFile.
@@ -117,6 +122,18 @@ func WithDistributor(name string) Option { return func(c *core.Config) { c.Distr
 // concurrent bulk transfers to one daemon move in parallel instead of
 // serializing on a single socket.
 func WithConns(n int) Option { return func(c *core.Config) { c.Conns = n } }
+
+// WithReplicas sets the chunk replication factor R (default 1, i.e.
+// off). Every chunk is written to R daemons — its hash-placed primary
+// plus R−1 ring successors — and a chunk write succeeds while at least
+// one replica acknowledges it. Reads prefer the primary but hedge to the
+// next replica when the first RPC outlives the client's tracked p95
+// latency for that daemon, and fail over on transport errors; a daemon
+// that fails repeatedly is condemned (skipped by reads and read-ahead)
+// and re-probed in the background. Metadata is not replicated: chunk
+// replication makes file data survive a daemon loss, not the namespace
+// entries hashed to the lost daemon. R must not exceed WithNodes' count.
+func WithReplicas(r int) Option { return func(c *core.Config) { c.Replicas = r } }
 
 // WithTransport selects the fabric wiring this deployment's clients to
 // its daemons: "mem" (default) calls handlers directly in process, "shm"

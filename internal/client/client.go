@@ -88,6 +88,13 @@ type Config struct {
 	// re-reads of cached data move zero wire bytes. Zero sizes the cache
 	// at DefaultCacheBytes if and when read-ahead needs it.
 	CacheBytes int64
+	// Replicas is the chunk replication factor R. R > 1 writes every
+	// chunk to the R daemons of its replica chain, reads with hedging
+	// and failover over the chain, and routes around condemned daemons
+	// (see replica.go). 0 or 1 keeps the unreplicated protocol
+	// bit-for-bit. Must not exceed the daemon count — a silent clamp
+	// would fake a durability level the cluster cannot provide.
+	Replicas int
 }
 
 // Client is one application's view of the file system.
@@ -101,7 +108,16 @@ type Client struct {
 	readAhead    bool
 	readWindow   int
 	cacheBytes   int64
+	replicas     int
 	readDirPage  uint32 // entries requested per OpReadDir page
+
+	// Replication state (replica.go): per-daemon health records and the
+	// client-side counters behind Stats(). health is sized like conns
+	// and never reallocated, so entries are addressed lock-free.
+	health        []daemonHealth
+	hedgedReads   atomic.Uint64
+	failoverReads atomic.Uint64
+	replicaWrites atomic.Uint64
 
 	// cache is the chunk cache (readahead.go), created eagerly when the
 	// configuration asks for one and lazily by the first OpenReadAhead
@@ -179,6 +195,16 @@ func New(cfg Config) (*Client, error) {
 	if cfg.CacheBytes < 0 {
 		return nil, fmt.Errorf("client: invalid cache size %d", cfg.CacheBytes)
 	}
+	if cfg.Replicas < 0 {
+		return nil, fmt.Errorf("client: invalid replication factor %d", cfg.Replicas)
+	}
+	if cfg.Replicas > len(cfg.Conns) {
+		return nil, fmt.Errorf("client: replication factor %d exceeds %d daemons — %d distinct replicas cannot exist",
+			cfg.Replicas, len(cfg.Conns), cfg.Replicas)
+	}
+	if cfg.Replicas == 0 {
+		cfg.Replicas = 1
+	}
 	c := &Client{
 		conns:        cfg.Conns,
 		dist:         cfg.Dist,
@@ -189,7 +215,9 @@ func New(cfg Config) (*Client, error) {
 		readAhead:    cfg.ReadAhead,
 		readWindow:   cfg.ReadWindow,
 		cacheBytes:   cfg.CacheBytes,
+		replicas:     cfg.Replicas,
 		readDirPage:  proto.DefaultReadDirPage,
+		health:       make([]daemonHealth, len(cfg.Conns)),
 		files:        make(map[int]*openFile),
 		nextFD:       3,
 	}
@@ -466,23 +494,46 @@ func (c *Client) barrierLocked(of *openFile) error {
 // protocol generation. Deployments carry no per-message version tags, so
 // this is the guard that turns a mixed-generation cluster into one clear
 // mount-time error instead of undecodable replies mid-I/O.
+//
+// With replication (Config.Replicas > 1) up to R−1 unreachable daemons
+// are tolerated — they are condemned instead of failing the mount, so a
+// cluster that lost a daemon can still be mounted to read the surviving
+// replicas. A daemon that answers with the wrong protocol version is
+// always a hard error: it is alive and will keep corrupting placement.
 func (c *Client) VerifyProtocol() error {
-	return c.fanOut(func(node int) error {
-		d, err := c.call(node, proto.OpPing, nil, nil, rpc.BulkNone)
-		if err != nil {
-			return err
+	errs := make([]error, len(c.conns))
+	var wg sync.WaitGroup
+	for n := range c.conns {
+		wg.Add(1)
+		go func(node int) {
+			defer wg.Done()
+			d, err := c.call(node, proto.OpPing, nil, nil, rpc.BulkNone)
+			if err != nil {
+				errs[node] = err
+				return
+			}
+			_ = d.U32() // daemon ID
+			if d.Remaining() < 2 {
+				errs[node] = fmt.Errorf("client: daemon %d predates protocol version %d (no version in ping reply)",
+					node, proto.ProtocolVersion)
+				return
+			}
+			if v := d.U16(); v != proto.ProtocolVersion {
+				errs[node] = fmt.Errorf("client: daemon %d speaks protocol version %d, client requires %d",
+					node, v, proto.ProtocolVersion)
+			}
+		}(n)
+	}
+	wg.Wait()
+	budget := c.replicas - 1
+	for node, err := range errs {
+		if err != nil && budget > 0 && transportError(err) {
+			c.condemn(node)
+			errs[node] = nil
+			budget--
 		}
-		_ = d.U32() // daemon ID
-		if d.Remaining() < 2 {
-			return fmt.Errorf("client: daemon %d predates protocol version %d (no version in ping reply)",
-				node, proto.ProtocolVersion)
-		}
-		if v := d.U16(); v != proto.ProtocolVersion {
-			return fmt.Errorf("client: daemon %d speaks protocol version %d, client requires %d",
-				node, v, proto.ProtocolVersion)
-		}
-		return nil
-	})
+	}
+	return errors.Join(errs...)
 }
 
 // PathOf reports the path behind a descriptor (tooling).
@@ -838,12 +889,22 @@ func (c *Client) Chmod(path string, mode uint32) error {
 // DaemonStats fans out OpStats and returns every daemon's operation
 // counters, indexed by node — the remote equivalent of
 // core.Cluster.DaemonStats for TCP deployments (gkfs-shell's stats
-// command).
+// command). Under replication, condemned (or freshly unreachable)
+// daemons contribute zero-valued entries instead of failing the whole
+// fan-out — the dead daemon is exactly the situation stats are consulted
+// in.
 func (c *Client) DaemonStats() ([]proto.DaemonStats, error) {
 	out := make([]proto.DaemonStats, len(c.conns))
 	err := c.fanOut(func(node int) error {
+		if c.replicas > 1 && !c.alive(node) {
+			return nil
+		}
 		d, err := c.call(node, proto.OpStats, nil, nil, rpc.BulkNone)
 		if err != nil {
+			if c.replicas > 1 && transportError(err) {
+				c.strike(node)
+				return nil
+			}
 			return err
 		}
 		st := proto.DecodeDaemonStats(d)

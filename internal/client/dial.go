@@ -64,7 +64,15 @@ func ProbeDaemon(conn rpc.Conn) (DaemonInfo, error) {
 // The same-identity check matters: a doorbell path is only meaningful on
 // the daemon's own node, and an unrelated socket at the same path on a
 // different node must not be silently mistaken for the daemon.
-func DialDaemons(addrs []string, mode string, timeout time.Duration, conns int) ([]rpc.Conn, error) {
+//
+// replicas is the mount's chunk replication factor: with replicas > 1 up
+// to replicas−1 unreachable daemons do not fail the dial — each dead
+// address gets a lazily re-dialing TCP pool instead (the next call, or a
+// background re-probe once the client condemns it, redials), so a
+// cluster that lost a daemon can still be mounted to reach the surviving
+// replicas. VerifyProtocol on the resulting client performs the actual
+// tolerate-or-fail accounting; 0 or 1 keeps the fail-fast behavior.
+func DialDaemons(addrs []string, mode string, timeout time.Duration, conns, replicas int) ([]rpc.Conn, error) {
 	if mode == "" {
 		mode = "auto"
 	}
@@ -77,10 +85,23 @@ func DialDaemons(addrs []string, mode string, timeout time.Duration, conns int) 
 			c.Close()
 		}
 	}
+	// lazyTCP returns a pool that dials on first use: the slot a dead
+	// daemon occupies until it comes back.
+	lazyTCP := func(addr string) rpc.Conn {
+		return transport.NewPool(conns, func() (rpc.Conn, error) {
+			return transport.DialTCP(addr, timeout)
+		})
+	}
+	deadBudget := replicas - 1
 	for _, a := range addrs {
 		a = strings.TrimSpace(a)
 		tcp, err := transport.DialTCPPool(a, timeout, conns)
 		if err != nil {
+			if deadBudget > 0 {
+				deadBudget--
+				out = append(out, lazyTCP(a))
+				continue
+			}
 			closeAll()
 			return nil, fmt.Errorf("client: dial %s: %w", a, err)
 		}
@@ -91,6 +112,11 @@ func DialDaemons(addrs []string, mode string, timeout time.Duration, conns int) 
 		info, err := ProbeDaemon(tcp)
 		if err != nil {
 			tcp.Close()
+			if deadBudget > 0 && mode != "shm" {
+				deadBudget--
+				out = append(out, lazyTCP(a))
+				continue
+			}
 			closeAll()
 			return nil, fmt.Errorf("client: probe %s: %w", a, err)
 		}

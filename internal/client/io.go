@@ -156,6 +156,17 @@ func (c *Client) writeSpansLocked(of *openFile, p []byte, off int64) error {
 func (c *Client) writeGroups(path string, p []byte, off int64) error {
 	groups := c.groupByTarget(path, off, int64(len(p)))
 	err := runGroups(groups, func(node int, g *targetGroup) error {
+		if c.replicas > 1 {
+			// Replicated fan-out: every live replica of the group's chain
+			// gets the same bulk region (all RPCs only read it), see
+			// replica.go for the degraded-success semantics.
+			bulk, pooled := gatherBulk(g, p)
+			err := c.writeGroupReplicated(path, g, c.chunkChain(path, g), bulk)
+			if pooled {
+				rpc.PutBuf(bulk)
+			}
+			return err
+		}
 		payload, bulk, pooled := encodeWrite(path, g, p, false)
 		d, err := c.call(node, proto.OpWriteChunks, payload, bulk, rpc.BulkIn)
 		if pooled {
@@ -233,6 +244,36 @@ func (c *Client) enqueueSpansLocked(of *openFile, p []byte, off int64) error {
 	var remaining atomic.Int32
 	remaining.Store(int32(len(groups)))
 	for node, g := range groups {
+		if c.replicas > 1 {
+			// Replicated write-behind: the group occupies one window slot
+			// regardless of R — the window bounds logical chunk writes, and
+			// the replica fan-out inside the slot runs in parallel anyway.
+			// The pooled copy is shared by all replica RPCs (BulkIn only
+			// reads it). A replica failure condemns that daemon inside
+			// writeGroupReplicated; only a write no replica accepted (or a
+			// deterministic refusal) latches the descriptor.
+			bulk := rpc.GetBuf(int(g.bytes))[:0]
+			for i, s := range g.spans {
+				bulk = append(bulk, p[g.bufOff[i]:g.bufOff[i]+s.Len]...)
+			}
+			chain := c.chunkChain(of.path, g)
+			of.pl.slots <- struct{}{}
+			of.pl.wg.Add(1)
+			go func(g *targetGroup, chain []int, bulk []byte) {
+				defer func() {
+					of.pl.releaseRange(r)
+					<-of.pl.slots
+					of.pl.wg.Done()
+				}()
+				err := c.writeGroupReplicated(of.path, g, chain, bulk)
+				rpc.PutBuf(bulk)
+				if remaining.Add(-1) == 0 {
+					c.cacheInvalidate(of.path, off, end)
+				}
+				of.pl.latch(err)
+			}(g, chain, bulk)
+			continue
+		}
 		// copyAlways: this path returns before the RPC settles, so the
 		// caller's buffer cannot back the bulk region.
 		payload, bulk, _ := encodeWrite(of.path, g, p, true)
@@ -462,6 +503,12 @@ func (c *Client) Read(fd int, p []byte) (int, error) {
 func (c *Client) readSpans(of *openFile, p []byte, off int64) (int, error) {
 	if len(p) == 0 {
 		return 0, nil
+	}
+	if c.replicas > 1 {
+		// Replicated clusters read through the hedging/failover path
+		// (replica.go); this one stays bit-for-bit the unreplicated
+		// protocol.
+		return c.readSpansReplicated(of, p, off)
 	}
 	groups := c.groupByTarget(of.path, off, int64(len(p)))
 	metaNode := c.dist.MetaTarget(of.path)

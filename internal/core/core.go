@@ -77,6 +77,12 @@ type Config struct {
 	// even without ReadAhead. Zero defers to the client default when
 	// read-ahead needs a cache.
 	CacheBytes int64
+	// Replicas is the chunk replication factor R: every chunk is written
+	// to R daemons (the primary plus R−1 ring successors) and read with
+	// hedging/failover over the chain, so the data plane survives the
+	// loss of up to R−1 daemons (see internal/client/replica.go).
+	// Metadata is not replicated. 0 or 1 disables replication.
+	Replicas int
 	// Conns is the number of transport connections each client stripes
 	// its per-daemon traffic over (see transport.Pool). Zero or one keeps
 	// a single connection per daemon. In-process deployments gain little
@@ -337,6 +343,7 @@ func (c *Cluster) newClient() (*client.Client, error) {
 		ReadAhead:    c.cfg.ReadAhead,
 		ReadWindow:   c.cfg.ReadWindow,
 		CacheBytes:   c.cfg.CacheBytes,
+		Replicas:     c.cfg.Replicas,
 	})
 	if err != nil {
 		return nil, err

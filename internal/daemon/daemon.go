@@ -63,6 +63,7 @@ type Daemon struct {
 	readSpans, readPushed     atomic.Uint64
 	readDirs                  atomic.Uint64
 	batchRPCs, batchedOps     atomic.Uint64
+	replicaWrites             atomic.Uint64
 
 	startup time.Duration
 }
@@ -146,6 +147,7 @@ func (d *Daemon) Stats() Stats {
 		WireBytesOut:    w.BytesOut,
 		VectoredWrites:  w.VectoredWrites,
 		ShmCalls:        w.ShmCalls,
+		ReplicaWrites:   d.replicaWrites.Load(),
 	}
 }
 

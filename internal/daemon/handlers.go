@@ -263,10 +263,18 @@ func forEachSpan(spans []proto.ChunkSpan, fn func(i int, s proto.ChunkSpan, off 
 	return errors.Join(errs...)
 }
 
+// handleWriteChunks stores chunk spans. The flags field is a trailing u8
+// absent from pre-version-6 requests; its WriteReplica bit marks the call
+// as a non-primary replica copy, which feeds the ReplicaWrites counter
+// and nothing else — replicas are stored exactly like primaries.
 func (d *Daemon) handleWriteChunks(req []byte, bulk rpc.Bulk) ([]byte, error) {
 	dec := rpc.NewDec(req)
 	path := dec.Str()
 	spans := proto.DecodeSpans(dec)
+	var flags uint8
+	if dec.Err() == nil && dec.Remaining() > 0 {
+		flags = dec.U8()
+	}
 	if err := dec.Done(); err != nil {
 		return nil, err
 	}
@@ -291,6 +299,9 @@ func (d *Daemon) handleWriteChunks(req []byte, bulk rpc.Bulk) ([]byte, error) {
 	}
 	d.writeOps.Add(1)
 	d.writeBytes.Add(uint64(total))
+	if flags&proto.WriteReplica != 0 {
+		d.replicaWrites.Add(1)
+	}
 	e := okResp(8)
 	e.I64(total)
 	return e.Bytes(), nil

@@ -28,8 +28,34 @@ type Distributor interface {
 	MetaTarget(path string) int
 	// ChunkTarget returns the daemon index owning chunk id of path.
 	ChunkTarget(path string, id meta.ChunkID) int
+	// ChunkReplicas returns the r daemon indexes holding chunk id of
+	// path: the primary (identical to ChunkTarget) first, then r−1
+	// distinct successors. r is clamped to Nodes(); r ≤ 1 returns
+	// exactly [ChunkTarget(path, id)], reproducing the unreplicated
+	// placement bit-for-bit. The returned indexes are always pairwise
+	// distinct.
+	ChunkReplicas(path string, id meta.ChunkID, r int) []int
 	// Name identifies the distribution pattern in reports.
 	Name() string
+}
+
+// successors returns [primary, primary+1, ..., primary+r-1] mod n with r
+// clamped to [1, n]. Placing replicas on the ring successors of the
+// primary (Grid Datafarm's placement) keeps the chain a pure function of
+// the primary alone: every span that hashes to the same primary shares
+// one replica chain, so failover and hedging operate per target group.
+func successors(primary, n, r int) []int {
+	if r > n {
+		r = n
+	}
+	if r < 1 {
+		r = 1
+	}
+	out := make([]int, r)
+	for k := range out {
+		out[k] = (primary + k) % n
+	}
+	return out
 }
 
 // New returns the named distribution pattern over n daemons: "" or
@@ -100,6 +126,11 @@ func (d *SimpleHash) ChunkTarget(path string, id meta.ChunkID) int {
 	return int(hashPathChunk(path, id) % uint64(d.n))
 }
 
+// ChunkReplicas implements Distributor.
+func (d *SimpleHash) ChunkReplicas(path string, id meta.ChunkID, r int) []int {
+	return successors(d.ChunkTarget(path, id), d.n, r)
+}
+
 // GuidedFirstChunk places chunk 0 of every file on the file's metadata
 // node and spreads the remaining chunks by hash. Small files (≤ 1 chunk)
 // then need a single daemon for create+write+stat, halving RPC fan-out for
@@ -134,6 +165,11 @@ func (d *GuidedFirstChunk) ChunkTarget(path string, id meta.ChunkID) int {
 		return d.MetaTarget(path)
 	}
 	return int(hashPathChunk(path, id) % uint64(d.n))
+}
+
+// ChunkReplicas implements Distributor.
+func (d *GuidedFirstChunk) ChunkReplicas(path string, id meta.ChunkID, r int) []int {
+	return successors(d.ChunkTarget(path, id), d.n, r)
 }
 
 // LocalFirst writes every chunk to the issuing client's own node,
@@ -171,3 +207,8 @@ func (d *LocalFirst) MetaTarget(path string) int {
 
 // ChunkTarget implements Distributor.
 func (d *LocalFirst) ChunkTarget(string, meta.ChunkID) int { return d.local }
+
+// ChunkReplicas implements Distributor.
+func (d *LocalFirst) ChunkReplicas(path string, id meta.ChunkID, r int) []int {
+	return successors(d.ChunkTarget(path, id), d.n, r)
+}

@@ -23,8 +23,11 @@ import (
 // prefetch-window efficiency and cache hit rates observable. Version 5
 // appended the shared-memory doorbell advertisement to the OpPing reply
 // and the six wire-tier counters (frames, wire bytes, vectored writes,
-// shm calls) to the OpStats reply.
-const ProtocolVersion uint16 = 5
+// shm calls) to the OpStats reply. Version 6 introduced chunk
+// replication: the OpWriteChunks trailing flags byte (WriteReplica marks
+// non-primary copies) and the ReplicaWrites counter appended to the
+// OpStats reply.
+const ProtocolVersion uint16 = 6
 
 // RPC operations. Each corresponds to one registered Mercury RPC in the
 // released GekkoFS.
@@ -226,6 +229,14 @@ const (
 	ReadSizeFile uint8 = 1
 )
 
+// WriteReplica is the OpWriteChunks request flag bit (a trailing u8
+// flags field after the bulk-length prefix of the span vector; absent
+// means 0) marking the write as a non-primary replica copy. The daemon
+// stores it exactly like a primary write — the bit only feeds the
+// ReplicaWrites counter, so replication overhead is observable per
+// daemon without changing the storage path.
+const WriteReplica uint8 = 1 << 0
+
 // RemoveFileOnly is the OpRemoveMeta flag bit asking the daemon to refuse
 // directories with ErrnoIsDir instead of deleting them. It lets a client
 // unlink a regular file in a single RPC — no leading stat to find out
@@ -284,6 +295,11 @@ type DaemonStats struct {
 	FramesIn, FramesOut       uint64
 	WireBytesIn, WireBytesOut uint64
 	VectoredWrites, ShmCalls  uint64
+	// ReplicaWrites counts OpWriteChunks calls carrying the WriteReplica
+	// flag — chunk copies stored on behalf of replication rather than
+	// primary placement. WriteOps counts primaries and replicas alike, so
+	// WriteOps−ReplicaWrites is the primary write load.
+	ReplicaWrites uint64
 }
 
 // Add accumulates other's counters into st (per-cluster totals).
@@ -307,6 +323,7 @@ func (st *DaemonStats) Add(other DaemonStats) {
 	st.WireBytesOut += other.WireBytesOut
 	st.VectoredWrites += other.VectoredWrites
 	st.ShmCalls += other.ShmCalls
+	st.ReplicaWrites += other.ReplicaWrites
 }
 
 // MetaRPCs sums the metadata-plane RPC counters.
@@ -314,11 +331,11 @@ func (st DaemonStats) MetaRPCs() uint64 {
 	return st.Creates + st.StatOps + st.Removes + st.SizeUpdates + st.ReadDirs + st.BatchRPCs
 }
 
-// DaemonStatsWireLen is the encoded size of one DaemonStats (19 u64
+// DaemonStatsWireLen is the encoded size of one DaemonStats (20 u64
 // counters); daemons use it to size the OpStats reply.
-const DaemonStatsWireLen = 19 * 8
+const DaemonStatsWireLen = 20 * 8
 
-// EncodeDaemonStats appends the OpStats reply body (19 u64 counters, in
+// EncodeDaemonStats appends the OpStats reply body (20 u64 counters, in
 // struct order).
 func EncodeDaemonStats(e *rpc.Enc, st DaemonStats) {
 	e.U64(st.Creates).U64(st.StatOps).U64(st.Removes).U64(st.SizeUpdates)
@@ -328,6 +345,7 @@ func EncodeDaemonStats(e *rpc.Enc, st DaemonStats) {
 	e.U64(st.FramesIn).U64(st.FramesOut)
 	e.U64(st.WireBytesIn).U64(st.WireBytesOut)
 	e.U64(st.VectoredWrites).U64(st.ShmCalls)
+	e.U64(st.ReplicaWrites)
 }
 
 // DecodeDaemonStats reads what EncodeDaemonStats wrote.
@@ -352,6 +370,7 @@ func DecodeDaemonStats(d *rpc.Dec) DaemonStats {
 	st.WireBytesOut = d.U64()
 	st.VectoredWrites = d.U64()
 	st.ShmCalls = d.U64()
+	st.ReplicaWrites = d.U64()
 	return st
 }
 

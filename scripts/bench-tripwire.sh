@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Bench-regression tripwire, run by CI after the bench smoke produced
+# bench.txt: parse every BenchmarkRealTCPLargeIO variant's MB/s and fail
+# when one falls below the PR 7 baseline (docs/bench/BENCH_PR7.json,
+# "after" block) minus 40%. A one-iteration run on a shared runner is
+# noisy, so the margin is wide — only a genuine collapse of the
+# zero-copy data path trips it, not scheduler jitter. Writes
+# bench-regression.json (machine-readable, uploaded as an artifact).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+bench=${1:-bench.txt}
+base=docs/bench/BENCH_PR7.json
+out=bench-regression.json
+
+fail=0
+results=""
+for v in conns-1 conns-2 conns-8; do
+  floor=$(jq -r ".benchmarks.RealTCPLargeIO.after[\"$v\"]" "$base")
+  # A bench line reads: BenchmarkRealTCPLargeIO/conns-1-4  1  123 ns/op  523.4 MB/s
+  # (the trailing -4 is GOMAXPROCS and is omitted when it is 1).
+  got=$(awk -v v="$v" '$1 ~ ("^BenchmarkRealTCPLargeIO/" v "(-[0-9]+)?$") {
+          for (i = 2; i <= NF; i++) if ($i == "MB/s") print $(i-1)
+        }' "$bench" | tail -1)
+  min=$(awk -v f="$floor" 'BEGIN { printf "%.1f", f * 0.6 }')
+  ok=true
+  if [ -z "$got" ]; then
+    echo "tripwire: no MB/s result for RealTCPLargeIO/$v in $bench"
+    got=null
+    ok=false
+    fail=1
+  elif awk -v g="$got" -v m="$min" 'BEGIN { exit !(g < m) }'; then
+    echo "tripwire: RealTCPLargeIO/$v = $got MB/s, below floor $min (baseline $floor MB/s - 40%)"
+    ok=false
+    fail=1
+  else
+    echo "tripwire: RealTCPLargeIO/$v = $got MB/s >= floor $min (baseline $floor MB/s - 40%)"
+  fi
+  [ -n "$results" ] && results+=","
+  results+="\"$v\":{\"mbps\":$got,\"floor\":$min,\"baseline\":$floor,\"ok\":$ok}"
+done
+
+printf '{"benchmark":"RealTCPLargeIO","margin":0.4,"results":{%s}}\n' "$results" > "$out"
+cat "$out"
+exit "$fail"
