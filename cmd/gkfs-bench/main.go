@@ -32,6 +32,7 @@ import (
 	"repro/internal/distributor"
 	"repro/internal/proto"
 	"repro/internal/staging"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -85,6 +86,7 @@ func main() {
 	ioPath := flag.String("io-path", "/io-bench/stream.dat", "io: file path inside the deployment")
 	ioCopy := flag.String("io-copy", "", "io: also save the exact byte stream to this local file (ground truth for an external cmp)")
 	ioDelay := flag.Duration("io-delay", 0, "io: pause between transfers, stretching the write phase so an external fault can land mid-stream")
+	traceSample := flag.Int("trace-sample", 0, "trace every Nth RPC: the call carries a trace ID and both ends log a gkfs.trace event (0 = off)")
 	flag.Parse()
 
 	chunk, err := parseSize(*chunkFlag)
@@ -115,6 +117,7 @@ func main() {
 			AsyncWrites: *async, WriteWindow: *window,
 			ReadAhead: *readahead, ReadWindow: *readwindow, CacheBytes: cacheBytes,
 			Distributor: *distName, DataDir: *dataDir, SyncWAL: *syncWAL,
+			Telemetry: *traceSample > 0, TraceSample: *traceSample,
 		})
 		if err != nil {
 			log.Fatalf("gkfs-bench: %v", err)
@@ -129,6 +132,12 @@ func main() {
 		if err != nil {
 			log.Fatalf("gkfs-bench: %v", err)
 		}
+		// One registry shared by every client the factory mints, so the
+		// trace sampling sequence and metrics aggregate across workers.
+		var reg *telemetry.Registry
+		if *traceSample > 0 {
+			reg = telemetry.NewRegistry()
+		}
 		factory = func() (*client.Client, error) {
 			conns, err := client.DialDaemons(addrs, *transportMode, 60*time.Second, *connsN, *replicas)
 			if err != nil {
@@ -139,6 +148,7 @@ func main() {
 				Replicas:    *replicas,
 				AsyncWrites: *async, WriteWindow: *window,
 				ReadAhead: *readahead, ReadWindow: *readwindow, CacheBytes: cacheBytes,
+				Telemetry: reg, TraceSample: *traceSample,
 			})
 			if err != nil {
 				return nil, err
@@ -491,6 +501,22 @@ func runIO(factory workload.ClientFactory, cfg ioConfig) error {
 	cs := c.Stats()
 	fmt.Printf("replication: hedged=%d failover=%d replica-writes=%d condemned=%d\n",
 		cs.HedgedReads, cs.FailoverReads, cs.ReplicaWrites, cs.CondemnedDaemons)
+	// Per-op latency percentiles from the daemons' always-on histograms
+	// (the protocol-v7 stats extension), merged across the deployment.
+	if _, exts, err := c.DaemonStatsExt(); err == nil {
+		merged := map[string]telemetry.HistSnapshot{}
+		for _, ext := range exts {
+			for _, oh := range ext.Ops {
+				m := merged[oh.Name]
+				m.Merge(oh.Hist)
+				merged[oh.Name] = m
+			}
+		}
+		if len(merged) > 0 {
+			fmt.Printf("io: daemon latency (all daemons merged):\n")
+			telemetry.WriteOpTable(os.Stdout, merged)
+		}
+	}
 	fmt.Printf("io: verify OK (%d bytes)\n", cfg.Bytes)
 	return nil
 }

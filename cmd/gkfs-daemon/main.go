@@ -18,6 +18,13 @@
 // and move their bulk traffic through an mmap'd segment instead of the
 // TCP socket (their -transport flag controls this; "auto" takes the fast
 // path whenever it is genuinely reachable).
+//
+// With -metrics ADDR the daemon serves its live telemetry over HTTP:
+// Prometheus text exposition on /metrics, the same data as a JSON
+// document on /statz, and the net/http/pprof profiling handlers under
+// /debug/pprof/. The endpoint carries no authentication — bind it to
+// loopback (the default form, e.g. -metrics 127.0.0.1:9100) unless the
+// network is trusted; see docs/OBSERVABILITY.md.
 package main
 
 import (
@@ -25,12 +32,14 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 
 	"repro/internal/daemon"
 	"repro/internal/meta"
+	"repro/internal/telemetry"
 	"repro/internal/transport"
 	"repro/internal/vfs"
 )
@@ -44,8 +53,16 @@ func main() {
 	syncWAL := flag.Bool("sync-wal", false, "fsync metadata WAL per operation")
 	shm := flag.String("shm", "", "serve the shared-memory transport on this Unix socket (advertised to co-located clients)")
 	shmSeg := flag.Int("shm-seg", transport.DefaultShmSegBytes, "shared-memory segment bytes per connection")
+	metrics := flag.String("metrics", "", "serve /metrics, /statz and /debug/pprof on this HTTP address (bind loopback unless the network is trusted)")
+	printMetrics := flag.Bool("print-metrics", false, "print the exported metric catalog and exit")
 	flag.Parse()
 
+	if *printMetrics {
+		for _, name := range telemetry.Catalog() {
+			fmt.Println(name)
+		}
+		return
+	}
 	if *data == "" {
 		fmt.Fprintln(os.Stderr, "gkfs-daemon: -data is required")
 		os.Exit(2)
@@ -66,6 +83,40 @@ func main() {
 	l, err := net.Listen("tcp", *listen)
 	if err != nil {
 		log.Fatalf("gkfs-daemon: %v", err)
+	}
+	if *metrics != "" {
+		// The operation counters live outside the registry (they predate
+		// it and ride the stats RPC); zip them with their exported names
+		// so /metrics and /statz show one unified catalog.
+		extra := func() map[string]uint64 {
+			vals := d.Stats().Values()
+			m := make(map[string]uint64, len(vals))
+			for i, name := range telemetry.DaemonStatNames {
+				m[name] = vals[i]
+			}
+			return m
+		}
+		statz := func() any {
+			s := d.Telemetry().Snapshot()
+			for name, v := range extra() {
+				s.Counters[name] = v
+			}
+			return struct {
+				Daemon int `json:"daemon"`
+				telemetry.Snapshot
+			}{*id, s}
+		}
+		ml, err := net.Listen("tcp", *metrics)
+		if err != nil {
+			log.Fatalf("gkfs-daemon: metrics: %v", err)
+		}
+		go func() {
+			srv := &http.Server{Handler: telemetry.Handler(d.Telemetry(), extra, statz)}
+			if err := srv.Serve(ml); err != nil {
+				log.Printf("gkfs-daemon: metrics server stopped: %v", err)
+			}
+		}()
+		log.Printf("gkfs-daemon %d metrics on http://%s/metrics (statz, pprof)", *id, ml.Addr())
 	}
 	var shmL net.Listener
 	if *shm != "" {

@@ -17,6 +17,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -29,6 +30,7 @@ import (
 	"repro/internal/meta"
 	"repro/internal/proto"
 	"repro/internal/staging"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -47,6 +49,9 @@ func main() {
 	stageWorkers := flag.Int("stage-workers", 0, "stage-in/stage-out: parallel file transfers (0 = default)")
 	manifest := flag.String("manifest", "", "stage-in/stage-out: staging manifest file on the local side")
 	incremental := flag.Bool("incremental", false, "stage-out: skip files unmodified since the manifest was recorded")
+	jsonOut := flag.Bool("json", false, "stats: emit machine-readable JSON (one document per daemon, same schema as the daemon's /statz endpoint)")
+	watch := flag.Duration("watch", 0, "stats: re-poll and re-print at this interval until interrupted (e.g. -watch 2s)")
+	traceSample := flag.Int("trace-sample", 0, "trace every Nth RPC this shell issues: the call carries a trace ID and both ends log a gkfs.trace event (0 = off)")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
@@ -65,11 +70,16 @@ func main() {
 	for _, conn := range conns {
 		defer conn.Close()
 	}
-	c, err := client.New(client.Config{
+	ccfg := client.Config{
 		Conns: conns, Dist: dist, ChunkSize: *chunk, Replicas: *replicas,
 		AsyncWrites: *async, WriteWindow: *window,
 		ReadAhead: *readahead, ReadWindow: *readwindow, CacheBytes: *cachebytes,
-	})
+	}
+	if *traceSample > 0 {
+		ccfg.Telemetry = telemetry.NewRegistry()
+		ccfg.TraceSample = *traceSample
+	}
+	c, err := client.New(ccfg)
 	if err != nil {
 		fatal("%v", err)
 	}
@@ -219,57 +229,111 @@ func main() {
 			fatal("%s: per-file failures:\n%v", cmd, err)
 		}
 	case "stats":
-		sts, err := c.DaemonStats()
-		if err != nil {
-			fatal("stats: %v", err)
+		for {
+			runStats(c, *jsonOut)
+			if *watch <= 0 {
+				break
+			}
+			time.Sleep(*watch)
 		}
-		var total proto.DaemonStats
-		fmt.Printf("%-6s %10s %10s %10s %10s %10s %10s %12s %12s %10s %12s %10s %10s %10s %10s\n",
-			"daemon", "creates", "stats", "removes", "sizeupd", "writes", "reads",
-			"bytes-in", "bytes-out", "rspans", "pushed", "readdirs", "batchrpcs", "batchops", "repwrites")
-		for i, st := range sts {
-			total.Add(st)
-			fmt.Printf("%-6d %10d %10d %10d %10d %10d %10d %12d %12d %10d %12d %10d %10d %10d %10d\n",
-				i, st.Creates, st.StatOps, st.Removes, st.SizeUpdates, st.WriteOps, st.ReadOps,
-				st.WriteBytes, st.ReadBytes, st.ReadSpans, st.ReadBytesPushed,
-				st.ReadDirs, st.BatchRPCs, st.BatchedOps, st.ReplicaWrites)
-		}
-		fmt.Printf("%-6s %10d %10d %10d %10d %10d %10d %12d %12d %10d %12d %10d %10d %10d %10d\n",
-			"total", total.Creates, total.StatOps, total.Removes, total.SizeUpdates,
-			total.WriteOps, total.ReadOps, total.WriteBytes, total.ReadBytes,
-			total.ReadSpans, total.ReadBytesPushed,
-			total.ReadDirs, total.BatchRPCs, total.BatchedOps, total.ReplicaWrites)
-		fmt.Printf("rpcs: meta=%d chunk=%d batched-ops=%d\n",
-			total.MetaRPCs(), total.WriteOps+total.ReadOps, total.BatchedOps)
-		if total.ReadOps > 0 {
-			// Wire-read efficiency: spans per read RPC rises with the
-			// prefetch window; bytes-out vs pushed exposes holes and
-			// EOF probes that moved nothing. Chunk-cache hits never
-			// reach a daemon at all — compare the client's logical read
-			// volume against bytes-out to see the hit rate.
-			fmt.Printf("read path: %.2f spans/rpc, %d of %d span bytes pushed\n",
-				float64(total.ReadSpans)/float64(total.ReadOps),
-				total.ReadBytesPushed, total.ReadBytes)
-		}
-		// Transport-tier counters: frames and wire bytes move over TCP
-		// sockets (vectored = gathered writev frames), shm-calls over the
-		// shared-memory doorbell — whose bulk bytes never touch a socket,
-		// so a co-located deployment shows ShmCalls rising while the wire
-		// byte counters stay near the metadata floor.
-		fmt.Printf("wire: frames in=%d out=%d, bytes in=%d out=%d, vectored=%d, shm-calls=%d\n",
-			total.FramesIn, total.FramesOut, total.WireBytesIn, total.WireBytesOut,
-			total.VectoredWrites, total.ShmCalls)
-		// Replication health as seen from this mount: hedged counts every
-		// read that raced a second replica (latency-triggered or
-		// error-triggered; failover is the error subset), replica-writes
-		// the non-primary copies this client pushed, condemned the daemons
-		// currently skipped and awaiting re-probe. A condemned daemon also
-		// reports an all-zero row above — stats RPCs skip it too.
-		cs := c.Stats()
-		fmt.Printf("replication: hedged=%d failover=%d replica-writes=%d condemned=%d\n",
-			cs.HedgedReads, cs.FailoverReads, cs.ReplicaWrites, cs.CondemnedDaemons)
 	default:
 		usage()
+	}
+}
+
+// runStats prints one stats poll: the counter table plus the merged
+// per-op latency percentiles (human form), or one JSON document per
+// daemon in the /statz schema (-json).
+func runStats(c *client.Client, jsonOut bool) {
+	sts, exts, err := c.DaemonStatsExt()
+	if err != nil {
+		fatal("stats: %v", err)
+	}
+	if jsonOut {
+		type doc struct {
+			Daemon int `json:"daemon"`
+			telemetry.Snapshot
+		}
+		docs := make([]doc, len(sts))
+		for i, st := range sts {
+			s := telemetry.Snapshot{
+				Counters: make(map[string]uint64, len(telemetry.DaemonStatNames)),
+				Gauges:   map[string]int64{},
+				Hists:    make(map[string]telemetry.HistSnapshot, len(exts[i].Ops)),
+			}
+			for j, name := range telemetry.DaemonStatNames {
+				s.Counters[name] = st.Values()[j]
+			}
+			for _, oh := range exts[i].Ops {
+				s.Hists[oh.Name] = oh.Hist
+			}
+			docs[i] = doc{i, s}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(docs); err != nil {
+			fatal("stats: %v", err)
+		}
+		return
+	}
+	var total proto.DaemonStats
+	fmt.Printf("%-6s %10s %10s %10s %10s %10s %10s %12s %12s %10s %12s %10s %10s %10s %10s\n",
+		"daemon", "creates", "stats", "removes", "sizeupd", "writes", "reads",
+		"bytes-in", "bytes-out", "rspans", "pushed", "readdirs", "batchrpcs", "batchops", "repwrites")
+	for i, st := range sts {
+		total.Add(st)
+		fmt.Printf("%-6d %10d %10d %10d %10d %10d %10d %12d %12d %10d %12d %10d %10d %10d %10d\n",
+			i, st.Creates, st.StatOps, st.Removes, st.SizeUpdates, st.WriteOps, st.ReadOps,
+			st.WriteBytes, st.ReadBytes, st.ReadSpans, st.ReadBytesPushed,
+			st.ReadDirs, st.BatchRPCs, st.BatchedOps, st.ReplicaWrites)
+	}
+	fmt.Printf("%-6s %10d %10d %10d %10d %10d %10d %12d %12d %10d %12d %10d %10d %10d %10d\n",
+		"total", total.Creates, total.StatOps, total.Removes, total.SizeUpdates,
+		total.WriteOps, total.ReadOps, total.WriteBytes, total.ReadBytes,
+		total.ReadSpans, total.ReadBytesPushed,
+		total.ReadDirs, total.BatchRPCs, total.BatchedOps, total.ReplicaWrites)
+	fmt.Printf("rpcs: meta=%d chunk=%d batched-ops=%d\n",
+		total.MetaRPCs(), total.WriteOps+total.ReadOps, total.BatchedOps)
+	if total.ReadOps > 0 {
+		// Wire-read efficiency: spans per read RPC rises with the
+		// prefetch window; bytes-out vs pushed exposes holes and
+		// EOF probes that moved nothing. Chunk-cache hits never
+		// reach a daemon at all — compare the client's logical read
+		// volume against bytes-out to see the hit rate.
+		fmt.Printf("read path: %.2f spans/rpc, %d of %d span bytes pushed\n",
+			float64(total.ReadSpans)/float64(total.ReadOps),
+			total.ReadBytesPushed, total.ReadBytes)
+	}
+	// Transport-tier counters: frames and wire bytes move over TCP
+	// sockets (vectored = gathered writev frames), shm-calls over the
+	// shared-memory doorbell — whose bulk bytes never touch a socket,
+	// so a co-located deployment shows ShmCalls rising while the wire
+	// byte counters stay near the metadata floor.
+	fmt.Printf("wire: frames in=%d out=%d, bytes in=%d out=%d, vectored=%d, shm-calls=%d\n",
+		total.FramesIn, total.FramesOut, total.WireBytesIn, total.WireBytesOut,
+		total.VectoredWrites, total.ShmCalls)
+	// Replication health as seen from this mount: hedged counts every
+	// read that raced a second replica (latency-triggered or
+	// error-triggered; failover is the error subset), replica-writes
+	// the non-primary copies this client pushed, condemned the daemons
+	// currently skipped and awaiting re-probe. A condemned daemon also
+	// reports an all-zero row above — stats RPCs skip it too.
+	cs := c.Stats()
+	fmt.Printf("replication: hedged=%d failover=%d replica-writes=%d condemned=%d\n",
+		cs.HedgedReads, cs.FailoverReads, cs.ReplicaWrites, cs.CondemnedDaemons)
+	// Latency percentiles from the daemons' always-on histograms
+	// (protocol v7 stats extension), merged across the cluster.
+	merged := map[string]telemetry.HistSnapshot{}
+	for _, ext := range exts {
+		for _, oh := range ext.Ops {
+			m := merged[oh.Name]
+			m.Merge(oh.Hist)
+			merged[oh.Name] = m
+		}
+	}
+	if len(merged) > 0 {
+		fmt.Printf("latency (all daemons merged):\n")
+		telemetry.WriteOpTable(os.Stdout, merged)
 	}
 }
 

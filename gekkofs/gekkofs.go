@@ -30,6 +30,7 @@ import (
 	"repro/internal/daemon"
 	"repro/internal/proto"
 	"repro/internal/staging"
+	"repro/internal/telemetry"
 )
 
 // Errors mirroring the relaxed-POSIX surface. Compare with errors.Is.
@@ -224,6 +225,33 @@ func WithStageOutOnClose(fsDir, hostDir string, opts *StageOptions) Option {
 	}
 }
 
+// WithTelemetry enables client-side metrics: every FS mounted from the
+// cluster records per-RPC round-trip latency histograms, an in-flight
+// gauge, transport wait histograms and replication counters into a
+// shared registry (Cluster.ClientTelemetry). sampleEvery > 0 also
+// traces every sampleEvery-th RPC end to end: the call carries a trace
+// ID to its daemon and both ends log a "gkfs.trace" event with span
+// timings under the same hex ID (0 selects the default of one in
+// 1024). Daemon-side histograms are always on and travel in
+// DaemonStatsExt regardless of this option. The disabled-path cost on
+// RPCs is a single branch.
+func WithTelemetry(sampleEvery int) Option {
+	return func(c *core.Config) {
+		c.Telemetry = true
+		c.TraceSample = sampleEvery
+	}
+}
+
+// DaemonStatsExt holds one daemon's latency-histogram snapshots: queue
+// wait and per-op handle time, mergeable across daemons (see
+// Cluster.DaemonStatsExt).
+type DaemonStatsExt = proto.StatsExt
+
+// TelemetryRegistry is the client-side metric registry handed out by
+// Cluster.ClientTelemetry; snapshot it or serve it over HTTP with
+// telemetry.Handler.
+type TelemetryRegistry = telemetry.Registry
+
 // Cluster is a running GekkoFS deployment.
 type Cluster struct {
 	c *core.Cluster
@@ -268,6 +296,15 @@ func (cl *Cluster) DeployTime() time.Duration { return cl.c.DeployTime() }
 
 // DaemonStats returns per-daemon operation counters, indexed by node.
 func (cl *Cluster) DaemonStats() []DaemonStats { return cl.c.DaemonStats() }
+
+// DaemonStatsExt returns per-daemon latency-histogram snapshots,
+// indexed by node: queue wait and per-op handle-time distributions
+// with p50/p95/p99/p999 extraction, mergeable across daemons.
+func (cl *Cluster) DaemonStatsExt() []DaemonStatsExt { return cl.c.DaemonStatsExt() }
+
+// ClientTelemetry returns the registry shared by this cluster's
+// mounted file systems (nil unless WithTelemetry).
+func (cl *Cluster) ClientTelemetry() *TelemetryRegistry { return cl.c.ClientTelemetry() }
 
 // StageInTime reports how long WithStageIn's transfer took (zero when
 // none was configured).

@@ -73,5 +73,6 @@ func All() []*Analyzer {
 		LockGuard,
 		FrameBound,
 		ErrnoExhaustive,
+		MetricCheck,
 	}
 }

@@ -117,6 +117,7 @@ func TestBufPoolFixtures(t *testing.T)         { runFixture(t, BufPool, "bufpool
 func TestLockGuardFixtures(t *testing.T)       { runFixture(t, LockGuard, "lockguard") }
 func TestFrameBoundFixtures(t *testing.T)      { runFixture(t, FrameBound, "framebound") }
 func TestErrnoExhaustiveFixtures(t *testing.T) { runFixture(t, ErrnoExhaustive, "errnoexhaustive") }
+func TestMetricCheckFixtures(t *testing.T)     { runFixture(t, MetricCheck, "metriccheck") }
 
 // TestSuiteIsCleanOnRepo runs every analyzer over the whole module: the
 // invariants gkfs-vet enforces must hold on the tree that ships it.

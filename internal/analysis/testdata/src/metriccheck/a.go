@@ -1,0 +1,72 @@
+// Package metriccheck is a gkfs-vet fixture exercising the metriccheck
+// analyzer: direct writes to counter and snapshot fields owned by the
+// telemetry tier are flagged, while reads, composite-literal
+// construction, API calls, and map inserts through a field stay legal.
+package metriccheck
+
+import (
+	"repro/internal/proto"
+	"repro/internal/rpc"
+	"repro/internal/telemetry"
+)
+
+// assignSnapshotField rebinds counter state on a snapshot copy: the
+// write never reaches a live counter.
+func assignSnapshotField(st proto.DaemonStats) proto.DaemonStats {
+	st.Creates = 0 // want `field DaemonStats\.Creates is telemetry counter state`
+	return st
+}
+
+// compoundAssign aggregates by hand instead of DaemonStats.Add.
+func compoundAssign(a, b proto.DaemonStats) uint64 {
+	a.WriteBytes += b.WriteBytes // want `field DaemonStats\.WriteBytes is telemetry counter state`
+	return a.WriteBytes
+}
+
+// incDec bumps a histogram snapshot's total without touching buckets.
+func incDec(h telemetry.HistSnapshot) uint64 {
+	h.Count++ // want `field HistSnapshot\.Count is telemetry counter state`
+	return h.Count
+}
+
+// clearWireStats zeroes a wire snapshot field.
+func clearWireStats(w rpc.WireStats) rpc.WireStats {
+	w.FramesIn = 0 // want `field WireStats\.FramesIn is telemetry counter state`
+	return w
+}
+
+// replaceHists swaps out a registry snapshot's histogram map.
+func replaceHists(s telemetry.Snapshot) telemetry.Snapshot {
+	s.Hists = nil // want `field Snapshot\.Hists is telemetry counter state`
+	return s
+}
+
+// legalUses are the blessed shapes: the telemetry API mutates live
+// counters, composite literals construct snapshots, map inserts fold
+// extra values into a handed-out snapshot, and reads are always fine.
+func legalUses(reg *telemetry.Registry, s telemetry.Snapshot, st proto.DaemonStats) uint64 {
+	reg.Counter("fixture_total").Inc()
+	reg.Counter("fixture_total").Add(3)
+	reg.Gauge("fixture_gauge").Add(-1)
+	reg.Histogram("fixture_ns").Observe(42)
+
+	fresh := telemetry.HistSnapshot{Count: 1, Sum: 42}
+	_ = fresh
+
+	s.Counters["extra_total"] = st.Creates // map insert through the field, not a field write
+	total := st.WriteBytes + st.ReadBytes  // reads
+	return total
+}
+
+// localSameShapeType proves the guard is type-identity based, not
+// name based: a local struct with counter-like fields is untouched.
+type localSameShapeType struct {
+	Creates uint64
+	Count   uint64
+}
+
+func localWrites(l localSameShapeType) uint64 {
+	l.Creates = 7
+	l.Count++
+	return l.Creates + l.Count
+}

@@ -31,6 +31,7 @@ import (
 	"repro/internal/meta"
 	"repro/internal/proto"
 	"repro/internal/rpc"
+	"repro/internal/telemetry"
 )
 
 // Re-exported flag bits (values match package os).
@@ -95,6 +96,16 @@ type Config struct {
 	// bit-for-bit. Must not exceed the daemon count — a silent clamp
 	// would fake a durability level the cluster cannot provide.
 	Replicas int
+	// Telemetry, when non-nil, receives the client's metrics: per-RPC
+	// round-trip histograms, the in-flight gauge, pool/segment wait
+	// histograms and the replication counters (see
+	// internal/telemetry/names.go). Nil disables all recording — the
+	// instrumented paths reduce to single branches.
+	Telemetry *telemetry.Registry
+	// TraceSample sets the RPC trace sampling interval: every N-th call
+	// carries a trace ID to the daemon and both ends log a span event.
+	// Zero selects DefaultTraceSample; sampling requires Telemetry.
+	TraceSample int
 }
 
 // Client is one application's view of the file system.
@@ -118,6 +129,10 @@ type Client struct {
 	hedgedReads   atomic.Uint64
 	failoverReads atomic.Uint64
 	replicaWrites atomic.Uint64
+
+	// tel is the client metric set (telemetry.go); zero-valued (all nil
+	// metrics) when Config.Telemetry was nil.
+	tel clientTelemetry
 
 	// cache is the chunk cache (readahead.go), created eagerly when the
 	// configuration asks for one and lazily by the first OpenReadAhead
@@ -224,6 +239,7 @@ func New(cfg Config) (*Client, error) {
 	if cfg.ReadAhead || cfg.CacheBytes > 0 {
 		c.cache.Store(newChunkCache(cfg.CacheBytes))
 	}
+	c.initTelemetry(cfg.Telemetry, cfg.TraceSample)
 	return c, nil
 }
 
@@ -231,8 +247,26 @@ func New(cfg Config) (*Client, error) {
 func (c *Client) ChunkSize() int64 { return c.chunkSize }
 
 // call issues one RPC and peels the errno header off the response.
+// This is the client's RPC chokepoint: round-trip timing, the
+// in-flight gauge and trace sampling all live here, so every caller —
+// metadata, chunk I/O, replication retries — is covered.
 func (c *Client) call(node int, op rpc.Op, payload, bulk []byte, dir rpc.BulkDir) (*rpc.Dec, error) {
-	resp, err := c.conns[node].Call(op, payload, bulk, dir)
+	var resp []byte
+	var err error
+	if c.tel.reg == nil {
+		resp, err = c.conns[node].Call(op, payload, bulk, dir)
+	} else {
+		tr := c.nextTrace()
+		c.tel.inflight.Add(1)
+		t0 := time.Now()
+		resp, err = rpc.CallTrace(c.conns[node], op, payload, bulk, dir, tr)
+		elapsed := time.Since(t0)
+		c.tel.inflight.Add(-1)
+		c.tel.rpcHist(op).Observe(int64(elapsed))
+		if tr.Sampled() {
+			c.emitTrace(node, op, tr, elapsed, err)
+		}
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -894,7 +928,18 @@ func (c *Client) Chmod(path string, mode uint32) error {
 // fan-out — the dead daemon is exactly the situation stats are consulted
 // in.
 func (c *Client) DaemonStats() ([]proto.DaemonStats, error) {
+	out, _, err := c.DaemonStatsExt()
+	return out, err
+}
+
+// DaemonStatsExt is DaemonStats plus each daemon's latency-histogram
+// extension (protocol v7): per-op handle-time and queue-wait
+// distributions, mergeable across daemons into cluster-wide percentile
+// tables. A daemon reply without the extension (or one contributed by
+// a condemned daemon) yields an empty StatsExt at its index.
+func (c *Client) DaemonStatsExt() ([]proto.DaemonStats, []proto.StatsExt, error) {
 	out := make([]proto.DaemonStats, len(c.conns))
+	exts := make([]proto.StatsExt, len(c.conns))
 	err := c.fanOut(func(node int) error {
 		if c.replicas > 1 && !c.alive(node) {
 			return nil
@@ -908,14 +953,19 @@ func (c *Client) DaemonStats() ([]proto.DaemonStats, error) {
 			return err
 		}
 		st := proto.DecodeDaemonStats(d)
+		var ext proto.StatsExt
+		if d.Err() == nil && d.Remaining() > 0 {
+			ext = proto.DecodeStatsExt(d)
+		}
 		if err := d.Done(); err != nil {
 			return err
 		}
 		out[node] = st
+		exts[node] = ext
 		return nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return out, nil
+	return out, exts, nil
 }

@@ -257,7 +257,7 @@ func (c *Client) enqueueSpansLocked(of *openFile, p []byte, off int64) error {
 				bulk = append(bulk, p[g.bufOff[i]:g.bufOff[i]+s.Len]...)
 			}
 			chain := c.chunkChain(of.path, g)
-			of.pl.slots <- struct{}{}
+			c.stageWait(of.pl)
 			of.pl.wg.Add(1)
 			go func(g *targetGroup, chain []int, bulk []byte) {
 				defer func() {
@@ -280,7 +280,7 @@ func (c *Client) enqueueSpansLocked(of *openFile, p []byte, off int64) error {
 		// Blocking on a window slot is the pipeline's backpressure; slots
 		// are released by completions, which never need of.mu, so holding
 		// the descriptor lock here cannot deadlock.
-		of.pl.slots <- struct{}{}
+		c.stageWait(of.pl)
 		of.pl.wg.Add(1)
 		go func(node int, want int64, payload, bulk []byte) {
 			defer func() {

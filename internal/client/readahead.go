@@ -5,6 +5,7 @@ import (
 	"io"
 	"math"
 	"sync"
+	"time"
 
 	"repro/internal/rpc"
 )
@@ -842,7 +843,14 @@ func (c *Client) fetchSpan(cc *chunkCache, of *openFile, ents []*cacheEnt, start
 	}()
 	bs := c.chunkSize
 	scratch := rpc.GetBuf(int(int64(len(ents)) * bs))
+	t0 := time.Time{}
+	if c.tel.prefetch != nil {
+		t0 = time.Now()
+	}
 	n, err := c.readSpans(of, scratch, start)
+	if c.tel.prefetch != nil {
+		c.tel.prefetch.ObserveSince(t0)
+	}
 	if err != nil && !errors.Is(err, io.EOF) {
 		for _, ent := range ents {
 			cc.settleErr(ent, err)

@@ -292,6 +292,7 @@ func (c *Client) writeGroupReplicated(path string, g *targetGroup, chain []int, 
 			c.observeSuccess(live[i])
 			if live[i] != chain[0] {
 				c.replicaWrites.Add(1)
+				c.tel.replica.Inc()
 			}
 		case transportError(err):
 			c.strike(live[i])
@@ -389,6 +390,7 @@ func (c *Client) readGroupHedged(path string, g *targetGroup, p []byte, chain []
 		// The condemned primary was skipped: this group is served by a
 		// secondary from the first RPC on.
 		c.hedgedReads.Add(1)
+		c.tel.hedged.Inc()
 	}
 	results := make(chan readResult, len(cands))
 	launched := 0
@@ -438,12 +440,15 @@ func (c *Client) readGroupHedged(path string, g *targetGroup, p []byte, chain []
 				// replica immediately instead of waiting for the timer.
 				c.hedgedReads.Add(1)
 				c.failoverReads.Add(1)
+				c.tel.hedged.Inc()
+				c.tel.failover.Inc()
 				launch()
 				pending++
 			}
 		case <-hedge.C:
 			if launched < len(cands) {
 				c.hedgedReads.Add(1)
+				c.tel.hedged.Inc()
 				launch()
 				pending++
 			}

@@ -20,8 +20,10 @@ import (
 	"repro/internal/daemon"
 	"repro/internal/distributor"
 	"repro/internal/meta"
+	"repro/internal/proto"
 	"repro/internal/rpc"
 	"repro/internal/staging"
+	"repro/internal/telemetry"
 	"repro/internal/transport"
 	"repro/internal/vfs"
 )
@@ -111,6 +113,15 @@ type Config struct {
 	// permanent file system exactly when the temporary one dissolves.
 	// Failures surface in Close's error and in StageOutReport.
 	StageOutOnClose *StageSpec
+	// Telemetry enables client-side metrics: every client mounted from
+	// this cluster records its per-RPC latency histograms, in-flight
+	// gauge and transport wait times into a shared registry
+	// (ClientTelemetry). Daemon-side metrics are always on.
+	Telemetry bool
+	// TraceSample sets the clients' RPC trace sampling interval (every
+	// N-th call is traced end to end); zero selects the client default.
+	// Requires Telemetry.
+	TraceSample int
 }
 
 // Cluster is a running in-process deployment.
@@ -132,6 +143,10 @@ type Cluster struct {
 	stageOut     *staging.Report
 	ready        bool // NewCluster completed; Close may stage out
 
+	// telemetry is the registry shared by every client this cluster
+	// mounts (nil unless Config.Telemetry).
+	telemetry *telemetry.Registry
+
 	mu    sync.Mutex
 	conns [][]rpc.Conn // conns handed to clients, closed on Close
 }
@@ -147,6 +162,9 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	}
 	begin := time.Now()
 	c := &Cluster{cfg: cfg, net: transport.NewMemNetwork()}
+	if cfg.Telemetry {
+		c.telemetry = telemetry.NewRegistry()
+	}
 	if cfg.Transport == "shm" {
 		dir, err := os.MkdirTemp("", "gkfs-shm-")
 		if err != nil {
@@ -344,6 +362,8 @@ func (c *Cluster) newClient() (*client.Client, error) {
 		ReadWindow:   c.cfg.ReadWindow,
 		CacheBytes:   c.cfg.CacheBytes,
 		Replicas:     c.cfg.Replicas,
+		Telemetry:    c.telemetry,
+		TraceSample:  c.cfg.TraceSample,
 	})
 	if err != nil {
 		return nil, err
@@ -366,6 +386,22 @@ func (c *Cluster) DaemonStats() []daemon.Stats {
 	}
 	return out
 }
+
+// DaemonStatsExt returns per-daemon latency-histogram snapshots (the
+// protocol-v7 stats extension): queue wait and per-op handle time,
+// mergeable across daemons into cluster-wide percentile tables.
+func (c *Cluster) DaemonStatsExt() []proto.StatsExt {
+	out := make([]proto.StatsExt, len(c.daemons))
+	for i, d := range c.daemons {
+		out[i] = d.StatsExt()
+	}
+	return out
+}
+
+// ClientTelemetry returns the registry shared by this cluster's clients
+// (nil unless Config.Telemetry): per-RPC round-trip histograms, the
+// in-flight gauge, pool/segment waits and replication counters.
+func (c *Cluster) ClientTelemetry() *telemetry.Registry { return c.telemetry }
 
 // Close tears the deployment down. In-memory state vanishes — GekkoFS is
 // a temporary file system; persistence across jobs is exactly what it

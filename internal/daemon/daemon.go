@@ -18,6 +18,7 @@ import (
 	"repro/internal/meta"
 	"repro/internal/proto"
 	"repro/internal/rpc"
+	"repro/internal/telemetry"
 	"repro/internal/vfs"
 )
 
@@ -64,6 +65,10 @@ type Daemon struct {
 	readDirs                  atomic.Uint64
 	batchRPCs, batchedOps     atomic.Uint64
 	replicaWrites             atomic.Uint64
+
+	reg       *telemetry.Registry
+	queueHist *telemetry.Histogram
+	opHists   [proto.OpBatchMeta + 1]*telemetry.Histogram
 
 	startup time.Duration
 }
@@ -113,6 +118,7 @@ func New(cfg Config) (*Daemon, error) {
 		chunks: chunkstore.New(cfg.FS),
 	}
 	d.register()
+	d.initTelemetry()
 	d.startup = time.Since(begin)
 	return d, nil
 }

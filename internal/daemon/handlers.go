@@ -535,8 +535,12 @@ func (d *Daemon) handleReadDir(req []byte, _ rpc.Bulk) ([]byte, error) {
 	return e.Bytes(), nil
 }
 
+// handleStats serves the fixed counters plus, since protocol v7, the
+// latency-histogram extension. The extension is trailing: a pre-v7
+// client stops after the counters and never sees it.
 func (d *Daemon) handleStats([]byte, rpc.Bulk) ([]byte, error) {
 	e := okResp(proto.DaemonStatsWireLen)
 	proto.EncodeDaemonStats(e, d.Stats())
+	proto.EncodeStatsExt(e, d.StatsExt())
 	return e.Bytes(), nil
 }

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/meta"
 	"repro/internal/rpc"
+	"repro/internal/telemetry"
 )
 
 // ProtocolVersion is the client↔daemon wire protocol generation. Daemons
@@ -26,8 +27,14 @@ import (
 // shm calls) to the OpStats reply. Version 6 introduced chunk
 // replication: the OpWriteChunks trailing flags byte (WriteReplica marks
 // non-primary copies) and the ReplicaWrites counter appended to the
-// OpStats reply.
-const ProtocolVersion uint16 = 6
+// OpStats reply. Version 7 introduced the observability tier: request
+// frames may carry a trailing trace extension (a dir-byte flag bit plus
+// a [u64 trace-ID][u8 flags] trailer — see the transports), and the
+// OpStats reply carries a StatsExt block (per-op latency histogram
+// snapshots) after the counters. Both are trailing-optional in the
+// PR 3 ReadWantSize style: frames and replies without them keep the
+// exact old shape, so old-shape requests are still served.
+const ProtocolVersion uint16 = 7
 
 // RPC operations. Each corresponds to one registered Mercury RPC in the
 // released GekkoFS.
@@ -66,6 +73,33 @@ const (
 	// append per RPC instead of one per op).
 	OpBatchMeta
 )
+
+// opNames gives ops human names for trace events, metric tables and
+// tooling output. Indexed by op value.
+var opNames = [OpBatchMeta + 1]string{
+	OpPing:           "ping",
+	OpCreate:         "create",
+	OpStat:           "stat",
+	OpRemoveMeta:     "remove_meta",
+	OpUpdateSize:     "update_size",
+	OpWriteChunks:    "write_chunks",
+	OpReadChunks:     "read_chunks",
+	OpRemoveChunks:   "remove_chunks",
+	OpTruncateChunks: "truncate_chunks",
+	OpReadDir:        "readdir",
+	OpStats:          "stats",
+	OpBatchMeta:      "batch_meta",
+}
+
+// OpName returns the human name of op, or "op<N>" for values this
+// build does not know. Trace events on both ends and the percentile
+// tables use it, so the names line up across processes.
+func OpName(op rpc.Op) string {
+	if int(op) < len(opNames) && opNames[op] != "" {
+		return opNames[op]
+	}
+	return fmt.Sprintf("op%d", op)
+}
 
 // Errno is the wire representation of an expected file system error.
 // Unexpected failures travel as rpc.RemoteError instead.
@@ -372,6 +406,123 @@ func DecodeDaemonStats(d *rpc.Dec) DaemonStats {
 	st.ShmCalls = d.U64()
 	st.ReplicaWrites = d.U64()
 	return st
+}
+
+// Values returns the counters in wire order — the order
+// EncodeDaemonStats writes and telemetry.DaemonStatNames names. The
+// three orders must stay identical; tests zip them.
+func (st DaemonStats) Values() []uint64 {
+	return []uint64{
+		st.Creates, st.StatOps, st.Removes, st.SizeUpdates,
+		st.WriteOps, st.ReadOps, st.WriteBytes, st.ReadBytes,
+		st.ReadSpans, st.ReadBytesPushed,
+		st.ReadDirs, st.BatchRPCs, st.BatchedOps,
+		st.FramesIn, st.FramesOut,
+		st.WireBytesIn, st.WireBytesOut,
+		st.VectoredWrites, st.ShmCalls,
+		st.ReplicaWrites,
+	}
+}
+
+// OpHist is one named latency histogram inside a StatsExt block.
+type OpHist struct {
+	// Name is the metric name (see internal/telemetry/names.go).
+	Name string
+	// Hist is the histogram snapshot, mergeable across daemons.
+	Hist telemetry.HistSnapshot
+}
+
+// StatsExt is the protocol-v7 extension of the OpStats reply: the
+// daemon's latency histogram snapshots, appended after the 20 fixed
+// counters. It rides the existing stats RPC so percentile tables need
+// no new operation and no side channel.
+type StatsExt struct {
+	// Ops holds the daemon's histograms, one per exported metric name.
+	Ops []OpHist
+}
+
+// minOpHistWireBytes is the smallest encoded OpHist: an empty name
+// prefix (1 varint byte), the u64 sum, and a zero bucket count.
+const minOpHistWireBytes = 1 + 8 + 4
+
+// EncodeHistSnapshot appends one histogram snapshot: the sum, then the
+// occupied buckets as [u32 index][u64 count] pairs. Count is derived
+// from the buckets on decode.
+func EncodeHistSnapshot(e *rpc.Enc, h telemetry.HistSnapshot) {
+	e.U64(h.Sum)
+	e.U32(uint32(len(h.Buckets)))
+	for _, b := range h.Buckets {
+		e.U32(b.Index)
+		e.U64(b.Count)
+	}
+}
+
+// histBucketWireBytes is the encoded size of one bucket pair.
+const histBucketWireBytes = 12
+
+// DecodeHistSnapshot reads what EncodeHistSnapshot wrote, with the
+// usual wrap-proof discipline: the claimed bucket count is validated
+// against the remaining buffer before allocation, and indexes must be
+// strictly ascending and inside the fixed layout.
+func DecodeHistSnapshot(d *rpc.Dec) telemetry.HistSnapshot {
+	sum := d.U64()
+	n := d.U32()
+	if d.Err() != nil {
+		return telemetry.HistSnapshot{}
+	}
+	if int64(n)*histBucketWireBytes > int64(d.Remaining()) {
+		d.Corrupt()
+		return telemetry.HistSnapshot{}
+	}
+	buckets := make([]telemetry.HistBucket, 0, n)
+	var count uint64
+	last := int64(-1)
+	for i := uint32(0); i < n; i++ {
+		b := telemetry.HistBucket{Index: d.U32(), Count: d.U64()}
+		if int64(b.Index) <= last || b.Index >= telemetry.HistBucketCount {
+			d.Corrupt()
+			return telemetry.HistSnapshot{}
+		}
+		last = int64(b.Index)
+		buckets = append(buckets, b)
+		count += b.Count
+	}
+	if d.Err() != nil {
+		return telemetry.HistSnapshot{}
+	}
+	return telemetry.HistSnapshot{Count: count, Sum: sum, Buckets: buckets}
+}
+
+// EncodeStatsExt appends the histogram block to an OpStats reply.
+func EncodeStatsExt(e *rpc.Enc, ext StatsExt) {
+	e.U32(uint32(len(ext.Ops)))
+	for _, oh := range ext.Ops {
+		e.Str(oh.Name)
+		EncodeHistSnapshot(e, oh.Hist)
+	}
+}
+
+// DecodeStatsExt reads what EncodeStatsExt wrote. Callers gate on
+// Remaining() — a reply without the block (an old daemon) simply
+// yields no histograms.
+func DecodeStatsExt(d *rpc.Dec) StatsExt {
+	n := d.U32()
+	if d.Err() != nil {
+		return StatsExt{}
+	}
+	if int64(n)*minOpHistWireBytes > int64(d.Remaining()) {
+		d.Corrupt()
+		return StatsExt{}
+	}
+	ext := StatsExt{Ops: make([]OpHist, 0, n)}
+	for i := uint32(0); i < n; i++ {
+		oh := OpHist{Name: d.Str(), Hist: DecodeHistSnapshot(d)}
+		if d.Err() != nil {
+			return StatsExt{}
+		}
+		ext.Ops = append(ext.Ops, oh)
+	}
+	return ext
 }
 
 // MetaOpKind discriminates OpBatchMeta sub-operations.

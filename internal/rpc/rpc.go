@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Op identifies a registered RPC operation, like a Mercury RPC id.
@@ -101,6 +102,44 @@ type Conn interface {
 	Close() error
 }
 
+// Trace identifies one sampled RPC across the wire. The client mints
+// the ID, the transport carries it in the frame's trailing trace
+// extension (protocol v7), and the daemon's dispatch observer stamps
+// its span timings with the same ID — so one slow call can be followed
+// client → transport → daemon by grepping the structured logs on both
+// ends. The zero Trace means "not sampled" and adds nothing to the
+// frame.
+type Trace struct {
+	// ID is the sampled call's random identity; 0 means unsampled.
+	ID uint64
+	// Flags carries trace options (TraceSampled today).
+	Flags uint8
+}
+
+// TraceSampled marks a trace the client chose for emission. It is set
+// on every minted trace; further bits are reserved.
+const TraceSampled uint8 = 1 << 0
+
+// Sampled reports whether the trace should be carried and logged.
+func (t Trace) Sampled() bool { return t.ID != 0 }
+
+// TraceCaller is the optional Conn extension of transports that can
+// carry a Trace to the server. Transports lacking it serve the call
+// untraced — the trace is an observability hint, never a correctness
+// dependency.
+type TraceCaller interface {
+	CallTrace(op Op, payload, bulk []byte, dir BulkDir, tr Trace) ([]byte, error)
+}
+
+// CallTrace invokes op over c, carrying tr when the connection
+// supports it and silently dropping it otherwise.
+func CallTrace(c Conn, op Op, payload, bulk []byte, dir BulkDir, tr Trace) ([]byte, error) {
+	if tc, ok := c.(TraceCaller); ok && tr.Sampled() {
+		return tc.CallTrace(op, payload, bulk, dir, tr)
+	}
+	return c.Call(op, payload, bulk, dir)
+}
+
 // ServerStats counts server-side activity.
 type ServerStats struct {
 	// Requests is the number of handled calls.
@@ -163,6 +202,28 @@ type Server struct {
 	requests atomic.Uint64
 	errors   atomic.Uint64
 	wire     WireCounters
+
+	// observer, when set, receives one event per dispatched request.
+	// Stored atomically so transports dispatching concurrently never
+	// block on registration.
+	observer atomic.Pointer[Observer]
+}
+
+// Observer receives one event per dispatched request: the operation,
+// the trace carried by the frame (zero when unsampled), how long the
+// request waited for a handler-pool slot, how long the handler ran,
+// and the handler's error. Implementations must be fast and
+// non-blocking — the call happens on the dispatch path.
+type Observer func(op Op, tr Trace, queueWait, handle time.Duration, err error)
+
+// SetObserver installs obs (nil removes it). The daemon uses it to
+// feed per-op latency histograms and emit trace events.
+func (s *Server) SetObserver(obs Observer) {
+	if obs == nil {
+		s.observer.Store(nil)
+		return
+	}
+	s.observer.Store(&obs)
 }
 
 // NewServer returns a server whose handler pool admits poolSize concurrent
@@ -189,6 +250,14 @@ func (s *Server) Register(op Op, h Handler) {
 // Dispatch runs the handler for op, blocking while the pool is full.
 // Transports call it once per decoded request.
 func (s *Server) Dispatch(op Op, payload []byte, bulk Bulk) ([]byte, error) {
+	return s.DispatchTrace(op, payload, bulk, Trace{})
+}
+
+// DispatchTrace is Dispatch carrying the request's trace to the
+// observer. Queue-wait and handle times are measured only when an
+// observer is installed; without one the path is exactly the old
+// Dispatch.
+func (s *Server) DispatchTrace(op Op, payload []byte, bulk Bulk, tr Trace) ([]byte, error) {
 	s.mu.RLock()
 	h, ok := s.handlers[op]
 	closed := s.closed
@@ -199,12 +268,24 @@ func (s *Server) Dispatch(op Op, payload []byte, bulk Bulk) ([]byte, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: %d", ErrUnknownOp, op)
 	}
+	obs := s.observer.Load()
+	var t0 time.Time
+	if obs != nil {
+		t0 = time.Now()
+	}
 	s.pool <- struct{}{}
 	defer func() { <-s.pool }()
+	var t1 time.Time
+	if obs != nil {
+		t1 = time.Now()
+	}
 	s.requests.Add(1)
 	resp, err := h(payload, bulk)
 	if err != nil {
 		s.errors.Add(1)
+	}
+	if obs != nil {
+		(*obs)(op, tr, t1.Sub(t0), time.Since(t1), err)
 	}
 	return resp, err
 }

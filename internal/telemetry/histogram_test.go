@@ -1,0 +1,224 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBucketLayout checks the index/bounds pair agree: every bucket's
+// bounds map back to its own index, indexes are monotone in the value,
+// and the whole uint64 range is covered.
+func TestBucketLayout(t *testing.T) {
+	for i := 0; i < histBuckets; i++ {
+		lo, hi := bucketBounds(i)
+		if bucketIndex(lo) != i || bucketIndex(hi) != i {
+			t.Fatalf("bucket %d: bounds [%d,%d] map to indexes %d,%d",
+				i, lo, hi, bucketIndex(lo), bucketIndex(hi))
+		}
+		if i > 0 {
+			_, prevHi := bucketBounds(i - 1)
+			if lo != prevHi+1 {
+				t.Fatalf("bucket %d starts at %d, previous ended at %d (gap or overlap)", i, lo, prevHi)
+			}
+		}
+		if mid := bucketMid(i); mid < lo || mid > hi {
+			t.Fatalf("bucket %d: mid %d outside [%d,%d]", i, mid, lo, hi)
+		}
+	}
+	if _, hi := bucketBounds(histBuckets - 1); hi != ^uint64(0) {
+		t.Fatalf("last bucket ends at %d, want 2^64-1", hi)
+	}
+}
+
+// TestPercentileErrorBounds records a known sample set and checks the
+// recovered quantiles against the exact order statistics: the layout
+// guarantees ≤ 1/32 relative quantization error, asserted here with a
+// little slack at 7%.
+func TestPercentileErrorBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, gen := range []struct {
+		name string
+		draw func() int64
+	}{
+		{"uniform", func() int64 { return rng.Int63n(1_000_000) }},
+		{"lognormalish", func() int64 { return int64(1000 * (1 + rng.ExpFloat64()*50)) }},
+		{"small", func() int64 { return rng.Int63n(40) }},
+	} {
+		var h Histogram
+		exact := make([]int64, 0, 20000)
+		for i := 0; i < 20000; i++ {
+			v := gen.draw()
+			exact = append(exact, v)
+			h.Observe(v)
+		}
+		sort.Slice(exact, func(i, j int) bool { return exact[i] < exact[j] })
+		s := h.Snapshot()
+		if s.Count != uint64(len(exact)) {
+			t.Fatalf("%s: snapshot count %d, want %d", gen.name, s.Count, len(exact))
+		}
+		for _, q := range []float64{0.5, 0.95, 0.99, 0.999} {
+			rank := int(q*float64(len(exact))) - 1
+			if rank < 0 {
+				rank = 0
+			}
+			want := exact[rank]
+			got := s.Quantile(q)
+			// Quantization never misplaces a sample across buckets, so
+			// the reported value must be within one bucket width of the
+			// true order statistic: ≤ ~6.25% relative, plus a small
+			// absolute allowance where buckets are coarse vs tiny values.
+			diff := int64(got) - want
+			if diff < 0 {
+				diff = -diff
+			}
+			if float64(diff) > 0.07*float64(want)+1 {
+				t.Errorf("%s: q=%v: got %d, exact %d (err %.2f%%)",
+					gen.name, q, got, want, 100*float64(diff)/float64(want))
+			}
+		}
+	}
+}
+
+// TestMergeAssociativity checks (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c) — the
+// property gkfs-shell relies on when folding per-daemon snapshots in
+// whatever order replies arrive.
+func TestMergeAssociativity(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	mk := func(n int, scale int64) HistSnapshot {
+		var h Histogram
+		for i := 0; i < n; i++ {
+			h.Observe(rng.Int63n(scale))
+		}
+		return h.Snapshot()
+	}
+	a, b, c := mk(500, 1000), mk(300, 1_000_000), mk(0, 1)
+
+	left := HistSnapshot{}
+	left.Merge(a)
+	left.Merge(b)
+	left.Merge(c)
+
+	bc := HistSnapshot{}
+	bc.Merge(b)
+	bc.Merge(c)
+	right := HistSnapshot{}
+	right.Merge(a)
+	right.Merge(bc)
+
+	if left.Count != right.Count || left.Sum != right.Sum {
+		t.Fatalf("totals differ: left %d/%d, right %d/%d", left.Count, left.Sum, right.Count, right.Sum)
+	}
+	if len(left.Buckets) != len(right.Buckets) {
+		t.Fatalf("bucket counts differ: %d vs %d", len(left.Buckets), len(right.Buckets))
+	}
+	for i := range left.Buckets {
+		if left.Buckets[i] != right.Buckets[i] {
+			t.Fatalf("bucket %d differs: %+v vs %+v", i, left.Buckets[i], right.Buckets[i])
+		}
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if left.Quantile(q) != right.Quantile(q) {
+			t.Fatalf("q=%v differs: %d vs %d", q, left.Quantile(q), right.Quantile(q))
+		}
+	}
+}
+
+// TestConcurrentRecording hammers one histogram from many goroutines
+// (run under -race in CI) and checks no samples are lost.
+func TestConcurrentRecording(t *testing.T) {
+	const goroutines, per = 8, 5000
+	var h Histogram
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(int64(g*per + i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != goroutines*per {
+		t.Fatalf("count %d, want %d", s.Count, goroutines*per)
+	}
+	want := uint64(goroutines*per) * uint64(goroutines*per-1) / 2
+	if s.Sum != want {
+		t.Fatalf("sum %d, want %d", s.Sum, want)
+	}
+}
+
+// TestRecordPathAllocs asserts the zero-allocation record path, both
+// enabled and disabled (nil receiver) — the acceptance criterion that
+// keeps telemetry safe to leave on in the data path.
+func TestRecordPathAllocs(t *testing.T) {
+	var h Histogram
+	var nilH *Histogram
+	var c Counter
+	var nilC *Counter
+	var g Gauge
+	t0 := time.Now()
+	for name, f := range map[string]func(){
+		"histogram":      func() { h.Observe(12345) },
+		"histogramSince": func() { h.ObserveSince(t0) },
+		"nilHistogram":   func() { nilH.Observe(12345) },
+		"nilSince":       func() { nilH.ObserveSince(t0) },
+		"counter":        func() { c.Add(3) },
+		"nilCounter":     func() { nilC.Add(3) },
+		"gauge":          func() { g.Add(-1) },
+	} {
+		if allocs := testing.AllocsPerRun(100, f); allocs != 0 {
+			t.Errorf("%s: %v allocs per record, want 0", name, allocs)
+		}
+	}
+}
+
+// TestQuantileEdges covers the degenerate snapshots.
+func TestQuantileEdges(t *testing.T) {
+	var empty HistSnapshot
+	if empty.Quantile(0.99) != 0 || empty.Mean() != 0 {
+		t.Fatal("empty snapshot must report zeros")
+	}
+	var h Histogram
+	h.Observe(7)
+	s := h.Snapshot()
+	for _, q := range []float64{-1, 0, 0.5, 1, 2} {
+		if got := s.Quantile(q); got != 7 {
+			t.Fatalf("single-sample q=%v: got %d, want 7", q, got)
+		}
+	}
+	h.Observe(-5) // clock step: clamps to 0
+	if got := h.Snapshot().Quantile(0); got != 0 {
+		t.Fatalf("negative observation should land at 0, q0=%d", got)
+	}
+}
+
+// TestHistSnapshotJSON checks the summary document shape shared by
+// /statz and `gkfs-shell stats -json`.
+func TestHistSnapshotJSON(t *testing.T) {
+	var h Histogram
+	for i := int64(1); i <= 100; i++ {
+		h.Observe(i * 1000)
+	}
+	raw, err := json.Marshal(h.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"count", "sum", "mean", "p50", "p95", "p99", "p999"} {
+		if _, ok := doc[key]; !ok {
+			t.Errorf("summary JSON missing %q: %s", key, raw)
+		}
+	}
+	if doc["count"].(float64) != 100 {
+		t.Errorf("count = %v, want 100", doc["count"])
+	}
+}

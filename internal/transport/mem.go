@@ -51,12 +51,18 @@ type memConn struct {
 
 // Call implements rpc.Conn. The direction hint is irrelevant in-process:
 // the handler touches the client's buffer directly either way.
-func (c *memConn) Call(op rpc.Op, payload, bulk []byte, _ rpc.BulkDir) ([]byte, error) {
+func (c *memConn) Call(op rpc.Op, payload, bulk []byte, dir rpc.BulkDir) ([]byte, error) {
+	return c.CallTrace(op, payload, bulk, dir, rpc.Trace{})
+}
+
+// CallTrace implements rpc.TraceCaller: in-process there is no frame,
+// so the trace is handed to the dispatcher directly.
+func (c *memConn) CallTrace(op rpc.Op, payload, bulk []byte, _ rpc.BulkDir, tr rpc.Trace) ([]byte, error) {
 	var b rpc.Bulk
 	if bulk != nil {
 		b = rpc.SliceBulk(bulk)
 	}
-	resp, err := c.srv.Dispatch(op, payload, b)
+	resp, err := c.srv.DispatchTrace(op, payload, b, tr)
 	if err != nil {
 		// Keep error semantics identical to the remote case.
 		return nil, &rpc.RemoteError{Msg: err.Error()}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/rpc"
+	"repro/internal/telemetry"
 )
 
 // Pool stripes calls for one server across several underlying
@@ -25,6 +26,36 @@ type Pool struct {
 	next   atomic.Uint64
 	slots  []poolSlot
 	closed atomic.Bool
+
+	// acquireHist, when set, times slot acquisition (lock wait plus any
+	// re-dial) — the client-side queue in front of the wire.
+	acquireHist *telemetry.Histogram
+	// connHook, when set, runs once on every connection the pool dials
+	// (and once on already-dialed slots at installation), letting the
+	// owner configure per-connection telemetry without knowing the
+	// concrete transport.
+	connHook func(rpc.Conn)
+}
+
+// SetAcquireHist installs the histogram timing slot acquisition. Call
+// before the pool serves traffic; nil leaves timing disabled.
+func (p *Pool) SetAcquireHist(h *telemetry.Histogram) { p.acquireHist = h }
+
+// SetConnHook installs f, applying it to connections already dialed
+// and to every future re-dial. Call before the pool serves traffic.
+func (p *Pool) SetConnHook(f func(rpc.Conn)) {
+	p.connHook = f
+	if f == nil {
+		return
+	}
+	for i := range p.slots {
+		s := &p.slots[i]
+		s.mu.Lock()
+		if s.conn != nil {
+			f(s.conn)
+		}
+		s.mu.Unlock()
+	}
 }
 
 type poolSlot struct {
@@ -64,15 +95,28 @@ func (p *Pool) Size() int { return len(p.slots) }
 // Call implements rpc.Conn, forwarding to the slot selected by the next
 // request id.
 func (p *Pool) Call(op rpc.Op, payload, bulk []byte, dir rpc.BulkDir) ([]byte, error) {
+	return p.CallTrace(op, payload, bulk, dir, rpc.Trace{})
+}
+
+// CallTrace implements rpc.TraceCaller, forwarding the trace to the
+// slot's connection when it can carry one.
+func (p *Pool) CallTrace(op rpc.Op, payload, bulk []byte, dir rpc.BulkDir, tr rpc.Trace) ([]byte, error) {
 	if p.closed.Load() {
 		return nil, ErrPoolClosed
 	}
 	s := &p.slots[(p.next.Add(1)-1)%uint64(len(p.slots))]
+	var t0 time.Time
+	if p.acquireHist != nil {
+		t0 = time.Now()
+	}
 	conn, err := p.acquire(s)
+	if p.acquireHist != nil {
+		p.acquireHist.ObserveSince(t0)
+	}
 	if err != nil {
 		return nil, err
 	}
-	resp, err := conn.Call(op, payload, bulk, dir)
+	resp, err := rpc.CallTrace(conn, op, payload, bulk, dir, tr)
 	if err != nil && condemns(err) {
 		p.invalidate(s, conn)
 	}
@@ -93,6 +137,9 @@ func (p *Pool) acquire(s *poolSlot) (rpc.Conn, error) {
 	conn, err := p.dial()
 	if err != nil {
 		return nil, fmt.Errorf("transport: pool dial: %w", err)
+	}
+	if p.connHook != nil {
+		p.connHook(conn)
 	}
 	s.conn = conn
 	return conn, nil

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/rpc"
+	"repro/internal/telemetry"
 )
 
 // Shared-memory fast path for co-located clients — the transport tier's
@@ -47,6 +48,10 @@ import (
 //	          [u64 bulkOff][u32 bulkLen][u32 payloadLen][payload]
 //	response: [u32 rest][u64 reqID][u8 status]
 //	          [u32 pushedLen][u32 payloadLen][payload]
+//
+// Protocol v7 trace extension, exactly as on TCP: a request whose dir
+// byte carries dirTraceFlag ends with a [u64 trace-ID][u8 flags]
+// trailer after the payload; unsampled requests keep the old shape.
 //
 // The client owns segment placement: a per-connection first-fit
 // allocator reserves [bulkOff, bulkOff+bulkLen) for each call, and the
@@ -153,7 +158,7 @@ func serveShmConn(conn net.Conn, srv *rpc.Server, segBytes int) {
 				region = seg[off : off+blen]
 			}
 			bulk := &shmServerBulk{dir: req.dir, region: region}
-			resp, herr := srv.Dispatch(req.op, req.payload, bulkFor(bulk, req.dir))
+			resp, herr := srv.DispatchTrace(req.op, req.payload, bulkFor(bulk, req.dir), req.tr)
 			writeShmResponse(conn, &wmu, wire, req.id, resp, bulk.pushed, herr)
 			rpc.PutBuf(req.pbuf)
 		}(req, off, blen)
@@ -193,19 +198,24 @@ func readShmRequest(br *bufio.Reader, segSize uint64) (request, int, int, error)
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
 		return request{}, 0, 0, err
 	}
+	dirByte := hdr[10]
 	req := request{
 		id:   binary.LittleEndian.Uint64(hdr[0:]),
 		op:   rpc.Op(binary.LittleEndian.Uint16(hdr[8:])),
-		dir:  rpc.BulkDir(hdr[10]),
+		dir:  rpc.BulkDir(dirByte & dirMask),
 		size: 4 + int(rest),
 	}
 	if req.dir > rpc.BulkOut {
 		return request{}, 0, 0, fmt.Errorf("transport: invalid bulk direction %d", req.dir)
 	}
+	tlen := uint64(0)
+	if dirByte&dirTraceFlag != 0 {
+		tlen = traceLen
+	}
 	bulkOff := binary.LittleEndian.Uint64(hdr[11:])
 	blen := binary.LittleEndian.Uint32(hdr[19:])
 	plen := binary.LittleEndian.Uint32(hdr[23:])
-	if uint64(plen) != uint64(rest-minShmRequestLen) {
+	if uint64(plen)+tlen != uint64(rest-minShmRequestLen) {
 		return request{}, 0, 0, rpc.ErrTruncated
 	}
 	if uint64(blen) > segSize || bulkOff > segSize-uint64(blen) {
@@ -218,6 +228,14 @@ func readShmRequest(br *bufio.Reader, segSize uint64) (request, int, int, error)
 		return request{}, 0, 0, err
 	}
 	req.payload = req.pbuf
+	if tlen != 0 {
+		var tb [traceLen]byte
+		if _, err := io.ReadFull(br, tb[:]); err != nil {
+			rpc.PutBuf(req.pbuf)
+			return request{}, 0, 0, err
+		}
+		req.tr = getTrace(tb[:])
+	}
 	return req, int(bulkOff), int(blen), nil
 }
 
@@ -417,6 +435,11 @@ type shmConn struct {
 	timeout time.Duration
 	alloc   *segAlloc
 
+	// segWaitHist, when set, times segment-window acquisition — how
+	// long bulk calls queue for segment space. Install before traffic
+	// (SetSegWaitHist).
+	segWaitHist *telemetry.Histogram
+
 	wmu sync.Mutex // serializes request frames
 
 	mu      sync.Mutex
@@ -443,8 +466,19 @@ type shmResult struct {
 
 type segSpan struct{ off, n int }
 
+// SetSegWaitHist installs the histogram timing segment-window
+// acquisition. Call before the connection serves traffic; nil leaves
+// timing disabled.
+func (c *shmConn) SetSegWaitHist(h *telemetry.Histogram) { c.segWaitHist = h }
+
 // Call implements rpc.Conn.
 func (c *shmConn) Call(op rpc.Op, payload, bulk []byte, dir rpc.BulkDir) ([]byte, error) {
+	return c.CallTrace(op, payload, bulk, dir, rpc.Trace{})
+}
+
+// CallTrace implements rpc.TraceCaller: the doorbell frame carries tr
+// in the trailing trace extension when sampled.
+func (c *shmConn) CallTrace(op rpc.Op, payload, bulk []byte, dir rpc.BulkDir, tr rpc.Trace) ([]byte, error) {
 	if bulk == nil {
 		dir = rpc.BulkNone
 	}
@@ -452,7 +486,14 @@ func (c *shmConn) Call(op rpc.Op, payload, bulk []byte, dir rpc.BulkDir) ([]byte
 	if dir != rpc.BulkNone {
 		n = len(bulk)
 		var err error
+		var t0 time.Time
+		if c.segWaitHist != nil {
+			t0 = time.Now()
+		}
 		off, err = c.alloc.acquire(n, c.timeout)
+		if c.segWaitHist != nil {
+			c.segWaitHist.ObserveSince(t0)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -473,7 +514,7 @@ func (c *shmConn) Call(op rpc.Op, payload, bulk []byte, dir rpc.BulkDir) ([]byte
 	c.pending[id] = pc
 	c.mu.Unlock()
 
-	hdr := buildShmRequest(id, op, dir, payload, off, n)
+	hdr := buildShmRequest(id, op, dir, payload, off, n, tr)
 	c.wmu.Lock()
 	_, err := c.conn.Write(hdr)
 	c.wmu.Unlock()
@@ -649,17 +690,30 @@ func (c *shmConn) fail(err error) {
 
 // buildShmRequest assembles one doorbell request header in a pooled
 // buffer; the caller releases it with rpc.PutBuf after writing it out.
-func buildShmRequest(id uint64, op rpc.Op, dir rpc.BulkDir, payload []byte, off, n int) []byte {
-	rest := minShmRequestLen + len(payload)
+// A sampled trace appends the traceLen trailer after the payload and
+// sets dirTraceFlag.
+func buildShmRequest(id uint64, op rpc.Op, dir rpc.BulkDir, payload []byte, off, n int, tr rpc.Trace) []byte {
+	dirByte := byte(dir)
+	tlen := 0
+	if tr.Sampled() {
+		dirByte |= dirTraceFlag
+		tlen = traceLen
+	}
+	rest := minShmRequestLen + len(payload) + tlen
 	out := rpc.GetBuf(4 + rest)[:0]
 	out = binary.LittleEndian.AppendUint32(out, uint32(rest))
 	out = binary.LittleEndian.AppendUint64(out, id)
 	out = binary.LittleEndian.AppendUint16(out, uint16(op))
-	out = append(out, byte(dir))
+	out = append(out, dirByte)
 	out = binary.LittleEndian.AppendUint64(out, uint64(off))
 	out = binary.LittleEndian.AppendUint32(out, uint32(n))
 	out = binary.LittleEndian.AppendUint32(out, uint32(len(payload)))
 	out = append(out, payload...)
+	if tlen != 0 {
+		var tb [traceLen]byte
+		putTrace(&tb, tr)
+		out = append(out, tb[:]...)
+	}
 	return out
 }
 

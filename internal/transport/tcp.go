@@ -25,6 +25,12 @@ import (
 // and server→client only for BulkOut. status 0 is success; status 1
 // carries a handler error message in the payload.
 //
+// Protocol v7 trace extension: a request whose dir byte has the
+// dirTraceFlag bit set carries a [u64 trace-ID][u8 flags] trailer as the
+// frame's last traceLen bytes (after the bulk bytes for BulkIn). The bit
+// and trailer are absent on unsampled calls, so old-shape frames keep
+// decoding — the PR 3 ReadWantSize discipline applied to framing.
+//
 // Both sides read a frame in two steps — fixed header first, body next —
 // and never join header and bulk on send: the sender hands the kernel a
 // header/bulk iovec pair (net.Buffers, writev) and the receiver
@@ -51,6 +57,27 @@ var ErrTimeout = errors.New("transport: call timed out")
 
 const minRequestLen = 8 + 2 + 1 + 4 // reqID + op + dir + payloadLen
 const minResponseLen = 8 + 1 + 4    // reqID + status + payloadLen
+
+// dirTraceFlag marks a request frame carrying the trace trailer. The
+// true bulk direction occupies the low bits (dir & dirMask).
+const (
+	dirTraceFlag = 0x80
+	dirMask      = 0x7F
+)
+
+// traceLen is the trace trailer size: u64 trace-ID + u8 flags.
+const traceLen = 8 + 1
+
+// putTrace encodes tr into a trailer.
+func putTrace(b *[traceLen]byte, tr rpc.Trace) {
+	binary.LittleEndian.PutUint64(b[:8], tr.ID)
+	b[8] = tr.Flags
+}
+
+// getTrace decodes a trailer.
+func getTrace(b []byte) rpc.Trace {
+	return rpc.Trace{ID: binary.LittleEndian.Uint64(b[:8]), Flags: b[8]}
+}
 
 // readBufSize sizes the per-connection bufio.Reader. Headers and small
 // payloads coalesce into one kernel read; multi-megabyte bulk regions
@@ -104,7 +131,8 @@ type request struct {
 	id      uint64
 	op      rpc.Op
 	dir     rpc.BulkDir
-	pbuf    []byte // pooled backing of payload (plus the bulk-length word)
+	tr      rpc.Trace // zero when the frame carried no trace trailer
+	pbuf    []byte    // pooled backing of payload (plus the bulk-length word)
 	payload []byte
 	bulkIn  []byte // pooled, exactly-sized BulkIn region (nil otherwise)
 	outLen  int
@@ -128,7 +156,7 @@ func serveConn(conn net.Conn, srv *rpc.Server) {
 		wire.BytesIn.Add(uint64(req.size))
 		go func(req request) {
 			bulk := &tcpServerBulk{dir: req.dir, in: req.bulkIn, outLen: req.outLen}
-			resp, herr := srv.Dispatch(req.op, req.payload, bulkFor(bulk, req.dir))
+			resp, herr := srv.DispatchTrace(req.op, req.payload, bulkFor(bulk, req.dir), req.tr)
 			writeResponse(conn, &wmu, wire, req.id, resp, bulk.committed(), herr)
 			if bulk.out != nil {
 				rpc.PutBuf(bulk.out)
@@ -164,18 +192,26 @@ func readRequest(br *bufio.Reader) (request, error) {
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
 		return request{}, err
 	}
+	dirByte := hdr[10]
 	req := request{
 		id:   binary.LittleEndian.Uint64(hdr[0:]),
 		op:   rpc.Op(binary.LittleEndian.Uint16(hdr[8:])),
-		dir:  rpc.BulkDir(hdr[10]),
+		dir:  rpc.BulkDir(dirByte & dirMask),
 		size: 4 + int(rest),
 	}
 	if req.dir > rpc.BulkOut {
 		return request{}, fmt.Errorf("transport: invalid bulk direction %d", req.dir)
 	}
+	// The trace trailer, when flagged, occupies the frame's last
+	// traceLen bytes and must be accounted for by the outer length
+	// exactly like payload and bulk.
+	tlen := uint64(0)
+	if dirByte&dirTraceFlag != 0 {
+		tlen = traceLen
+	}
 	plen := binary.LittleEndian.Uint32(hdr[11:])
 	rem := uint64(rest - minRequestLen)
-	if uint64(plen)+4 > rem {
+	if uint64(plen)+4+tlen > rem {
 		return request{}, rpc.ErrTruncated
 	}
 	req.pbuf = rpc.GetBuf(int(plen) + 4)
@@ -188,7 +224,7 @@ func readRequest(br *bufio.Reader) (request, error) {
 	after := rem - uint64(plen) - 4 // wire bytes following the bulk-length word
 	switch req.dir {
 	case rpc.BulkIn:
-		if uint64(blen) != after {
+		if uint64(blen)+tlen != after {
 			rpc.PutBuf(req.pbuf)
 			return request{}, rpc.ErrTruncated
 		}
@@ -199,7 +235,7 @@ func readRequest(br *bufio.Reader) (request, error) {
 			return request{}, err
 		}
 	default:
-		if after != 0 {
+		if after != tlen {
 			rpc.PutBuf(req.pbuf)
 			return request{}, rpc.ErrTruncated
 		}
@@ -214,6 +250,17 @@ func readRequest(br *bufio.Reader) (request, error) {
 			}
 			req.outLen = int(blen)
 		}
+	}
+	if tlen != 0 {
+		var tb [traceLen]byte
+		if _, err := io.ReadFull(br, tb[:]); err != nil {
+			if req.bulkIn != nil {
+				rpc.PutBuf(req.bulkIn)
+			}
+			rpc.PutBuf(req.pbuf)
+			return request{}, err
+		}
+		req.tr = getTrace(tb[:])
 	}
 	return req, nil
 }
@@ -367,6 +414,12 @@ type tcpResult struct {
 
 // Call implements rpc.Conn.
 func (c *tcpConn) Call(op rpc.Op, payload, bulk []byte, dir rpc.BulkDir) ([]byte, error) {
+	return c.CallTrace(op, payload, bulk, dir, rpc.Trace{})
+}
+
+// CallTrace implements rpc.TraceCaller: the frame carries tr in the
+// trailing trace extension when sampled.
+func (c *tcpConn) CallTrace(op rpc.Op, payload, bulk []byte, dir rpc.BulkDir, tr rpc.Trace) ([]byte, error) {
 	if bulk == nil {
 		dir = rpc.BulkNone
 	}
@@ -387,13 +440,23 @@ func (c *tcpConn) Call(op rpc.Op, payload, bulk []byte, dir rpc.BulkDir) ([]byte
 
 	// Gather on TX: the header (with payload and bulk length) goes out as
 	// one pooled buffer, the bulk bytes straight from the caller's buffer
-	// as the second iovec — they are never copied into a frame.
-	hdr := buildRequestHeader(id, op, dir, payload, lenOf(bulk, dir))
+	// as the second iovec — they are never copied into a frame. A sampled
+	// trace rides as the frame's trailing bytes: inline in the header
+	// buffer normally, as a third iovec when bulk bytes separate it from
+	// the header.
+	hdr := buildRequestHeader(id, op, dir, payload, lenOf(bulk, dir), tr)
 	c.wmu.Lock()
 	var err error
 	if dir == rpc.BulkIn && len(bulk) > 0 {
-		bufs := net.Buffers{hdr, bulk}
-		_, err = bufs.WriteTo(c.conn)
+		if tr.Sampled() {
+			var tb [traceLen]byte
+			putTrace(&tb, tr)
+			bufs := net.Buffers{hdr, bulk, tb[:]}
+			_, err = bufs.WriteTo(c.conn)
+		} else {
+			bufs := net.Buffers{hdr, bulk}
+			_, err = bufs.WriteTo(c.conn)
+		}
 	} else {
 		_, err = c.conn.Write(hdr)
 	}
@@ -578,21 +641,39 @@ func (c *tcpConn) fail(err error) {
 // length prefix, fixed fields, payload, bulk length — in a pooled buffer;
 // the caller releases it with rpc.PutBuf after writing it out. The bulk
 // bytes themselves travel as a second iovec (BulkIn) or not at all
-// (BulkOut advertises only the region size the server may push into).
-func buildRequestHeader(id uint64, op rpc.Op, dir rpc.BulkDir, payload []byte, bulkLen int) []byte {
+// (BulkOut advertises only the region size the server may push into). A
+// sampled trace extends the frame by traceLen trailing bytes, appended
+// here unless BulkIn bytes will separate them from the header (the
+// caller then sends the trailer as its own iovec after the bulk).
+func buildRequestHeader(id uint64, op rpc.Op, dir rpc.BulkDir, payload []byte, bulkLen int, tr rpc.Trace) []byte {
 	inline := 0
 	if dir == rpc.BulkIn {
 		inline = bulkLen
 	}
-	rest := minRequestLen + len(payload) + 4 + inline
-	out := rpc.GetBuf(4 + rest - inline)[:0]
+	dirByte := byte(dir)
+	tlen := 0
+	if tr.Sampled() {
+		dirByte |= dirTraceFlag
+		tlen = traceLen
+	}
+	rest := minRequestLen + len(payload) + 4 + inline + tlen
+	trInline := tlen
+	if inline > 0 {
+		trInline = 0 // trailer travels after the bulk iovec
+	}
+	out := rpc.GetBuf(4 + rest - inline - (tlen - trInline))[:0]
 	out = binary.LittleEndian.AppendUint32(out, uint32(rest))
 	out = binary.LittleEndian.AppendUint64(out, id)
 	out = binary.LittleEndian.AppendUint16(out, uint16(op))
-	out = append(out, byte(dir))
+	out = append(out, dirByte)
 	out = binary.LittleEndian.AppendUint32(out, uint32(len(payload)))
 	out = append(out, payload...)
 	out = binary.LittleEndian.AppendUint32(out, uint32(bulkLen))
+	if trInline != 0 {
+		var tb [traceLen]byte
+		putTrace(&tb, tr)
+		out = append(out, tb[:]...)
+	}
 	return out
 }
 

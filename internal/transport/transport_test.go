@@ -57,7 +57,13 @@ func newTestServer() *rpc.Server {
 // conns builds one connection per transport against the same server.
 func conns(t *testing.T) map[string]rpc.Conn {
 	t.Helper()
-	srv := newTestServer()
+	return connsAgainst(t, newTestServer())
+}
+
+// connsAgainst builds one connection per transport against srv, for
+// tests that need to hold the server (observers, stats).
+func connsAgainst(t *testing.T, srv *rpc.Server) map[string]rpc.Conn {
+	t.Helper()
 
 	net1 := NewMemNetwork()
 	net1.Register(0, srv)

@@ -6,10 +6,16 @@
 # noisy, so the margin is wide — only a genuine collapse of the
 # zero-copy data path trips it, not scheduler jitter. Writes
 # bench-regression.json (machine-readable, uploaded as an artifact).
+#
+# An optional second argument names a /statz JSON capture from a daemon
+# that served the run; its read/write p99 latencies are recorded in the
+# artifact next to the MB/s numbers (informational — latency on a shared
+# runner is too noisy to gate on, but the history makes drifts visible).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 bench=${1:-bench.txt}
+statz=${2:-}
 base=docs/bench/BENCH_PR7.json
 out=bench-regression.json
 
@@ -40,6 +46,16 @@ for v in conns-1 conns-2 conns-8; do
   results+="\"$v\":{\"mbps\":$got,\"floor\":$min,\"baseline\":$floor,\"ok\":$ok}"
 done
 
-printf '{"benchmark":"RealTCPLargeIO","margin":0.4,"results":{%s}}\n' "$results" > "$out"
+latency="null"
+if [ -n "$statz" ] && [ -f "$statz" ]; then
+  latency=$(jq -c '{
+      read_p99_ns:  (.hists.gkfs_daemon_op_read_chunks_ns.p99  // null),
+      write_p99_ns: (.hists.gkfs_daemon_op_write_chunks_ns.p99 // null)
+    }' "$statz")
+  echo "tripwire: daemon latency (informational): $latency"
+fi
+
+printf '{"benchmark":"RealTCPLargeIO","margin":0.4,"results":{%s},"latency":%s}\n' \
+  "$results" "$latency" > "$out"
 cat "$out"
 exit "$fail"

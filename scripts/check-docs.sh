@@ -9,6 +9,9 @@
 #  3. Every analyzer gkfs-vet ships must be documented in
 #     docs/INVARIANTS.md, so the invariant catalog cannot drift behind
 #     the suite.
+#  4. Every exported metric name (`gkfs-daemon -print-metrics`) must
+#     appear in docs/OBSERVABILITY.md, so the metric catalog cannot
+#     drift behind the telemetry tier.
 #
 # Flag extraction covers three shapes:
 #   - backticked `-flags` on lines naming the binary (prose, usage),
@@ -37,7 +40,15 @@ fi
 
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
-go build -o "$tmp" ./cmd/gkfs-bench ./cmd/gkfs-shell ./cmd/gkfs-vet
+go build -o "$tmp" ./cmd/gkfs-bench ./cmd/gkfs-shell ./cmd/gkfs-vet ./cmd/gkfs-daemon
+
+# Every exported metric must appear in the observability catalog.
+while read -r metric; do
+  if ! grep -q "\`$metric\`" docs/OBSERVABILITY.md; then
+    echo "metric $metric is exported but not documented in docs/OBSERVABILITY.md"
+    fail=1
+  fi
+done < <("$tmp/gkfs-daemon" -print-metrics)
 
 # Every shipped analyzer must appear in the invariant catalog.
 while IFS=$'\t' read -r name _; do
