@@ -1,0 +1,300 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/proto"
+	"repro/internal/staging"
+	"repro/internal/workload"
+)
+
+// checkpointConfig shapes the checkpoint/restart workload: workers
+// repeatedly overwrite their checkpoint files (one epoch per round),
+// each round is pinned under a snapshot tag, and the previous round's
+// tag drains to the host concurrently with the next round's writes —
+// the burst-buffer shape where compute never waits for the PFS.
+type checkpointConfig struct {
+	Workers   int
+	Files     int // files per worker
+	FileBytes int64
+	Epochs    int    // checkpoint rounds
+	OutDir    string // staged trees + ground truth land here; empty = temp, removed
+	Verify    bool   // byte-compare every staged tree against its epoch's content
+}
+
+// ckRetryWindow bounds how long one operation keeps retrying before the
+// bench gives up. It exists for CI's kill-a-daemon-mid-checkpoint smoke:
+// operations that land in the outage window fail, the daemon restarts on
+// the same state, the lazily re-dialing transport reconnects, and the
+// retry succeeds — the run finishes with every staged tree intact.
+const ckRetryWindow = 30 * time.Second
+
+const ckDir = "/ckpt-bench"
+
+// ckFill regenerates the deterministic content of one checkpoint file:
+// same (epoch, worker, file) always yields the same bytes, so staged
+// trees are verifiable against ground truth that is never stored.
+func ckFill(buf []byte, epoch, w, f int) {
+	rand.New(rand.NewSource(int64(epoch)<<40 | int64(w)<<20 | int64(f))).Read(buf)
+}
+
+func ckPath(w, f int) string { return fmt.Sprintf("%s/w%d/f%d.dat", ckDir, w, f) }
+func ckRel(w, f int) string  { return filepath.Join(fmt.Sprintf("w%d", w), fmt.Sprintf("f%d.dat", f)) }
+func ckTag(epoch int) string { return fmt.Sprintf("ck-%d", epoch) }
+
+// ckRetry runs op until it succeeds or the retry window closes.
+func ckRetry(op func() error) error {
+	deadline := time.Now().Add(ckRetryWindow)
+	for {
+		err := op()
+		if err == nil {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return err
+		}
+		time.Sleep(250 * time.Millisecond)
+	}
+}
+
+// ckWriteFile overwrites one checkpoint file in full.
+func ckWriteFile(c *client.Client, path string, data []byte) error {
+	return ckRetry(func() error {
+		fd, err := c.Open(path, client.O_WRONLY|client.O_CREATE|client.O_TRUNC)
+		if err != nil {
+			return err
+		}
+		if _, err := c.WriteAt(fd, data, 0); err != nil {
+			c.Close(fd)
+			return err
+		}
+		return c.Close(fd)
+	})
+}
+
+// ckSnapshot pins tag with retries. A retry that finds the tag already
+// committed (a previous attempt's commit fan-out half-landed, then
+// finished — or fully landed before the error surfaced) resolves it; a
+// partial commit is dropped and re-taken.
+func ckSnapshot(c *client.Client, tag string) (uint64, error) {
+	var epoch uint64
+	err := ckRetry(func() error {
+		var err error
+		epoch, err = c.Snapshot(tag)
+		if err == nil {
+			return nil
+		}
+		if errors.Is(err, proto.ErrExist) {
+			if ep, rerr := c.SnapshotEpoch(tag); rerr == nil {
+				epoch = ep
+				return nil
+			}
+			c.SnapshotDrop(tag)
+		}
+		return err
+	})
+	return epoch, err
+}
+
+// writeCkEpoch overwrites every checkpoint file with the epoch's
+// content, all workers in parallel, and reports the wall-clock time.
+func writeCkEpoch(c *client.Client, cfg checkpointConfig, epoch int) (time.Duration, error) {
+	begin := time.Now()
+	errs := make([]error, cfg.Workers)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			buf := make([]byte, cfg.FileBytes)
+			for f := 0; f < cfg.Files; f++ {
+				ckFill(buf, epoch, w, f)
+				if err := ckWriteFile(c, ckPath(w, f), buf); err != nil {
+					errs[w] = fmt.Errorf("worker %d epoch %d: %w", w, epoch, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	return time.Since(begin), errors.Join(errs...)
+}
+
+// ckStageOut drains one committed tag to dst with retries (a retry
+// restarts from a clean destination).
+func ckStageOut(c *client.Client, tag, dst string) (*staging.Report, error) {
+	var rep *staging.Report
+	err := ckRetry(func() error {
+		os.RemoveAll(dst)
+		var err error
+		rep, err = staging.StageOut(c, ckDir, dst, staging.Options{Snapshot: tag})
+		if err != nil {
+			return err
+		}
+		return rep.Err()
+	})
+	return rep, err
+}
+
+// ckVerifyTree byte-compares one staged epoch tree against regenerated
+// ground truth, and (when keep is set) materializes that ground truth
+// next to it for external diff -r checks.
+func ckVerifyTree(cfg checkpointConfig, epoch int, stagedDir, truthDir string) (int, int64, error) {
+	buf := make([]byte, cfg.FileBytes)
+	files, total := 0, int64(0)
+	for w := 0; w < cfg.Workers; w++ {
+		for f := 0; f < cfg.Files; f++ {
+			ckFill(buf, epoch, w, f)
+			if truthDir != "" {
+				p := filepath.Join(truthDir, ckRel(w, f))
+				if err := os.MkdirAll(filepath.Dir(p), 0o777); err != nil {
+					return files, total, err
+				}
+				if err := os.WriteFile(p, buf, 0o666); err != nil {
+					return files, total, err
+				}
+			}
+			if !cfg.Verify {
+				continue
+			}
+			got, err := os.ReadFile(filepath.Join(stagedDir, ckRel(w, f)))
+			if err != nil {
+				return files, total, fmt.Errorf("epoch %d: %w", epoch, err)
+			}
+			if !bytes.Equal(got, buf) {
+				return files, total, fmt.Errorf("epoch %d: staged %s differs from its pre-image", epoch, ckRel(w, f))
+			}
+			files++
+			total += int64(len(got))
+		}
+	}
+	return files, total, nil
+}
+
+// runCheckpoint drives the overlapped checkpoint loop: epoch 0 writes
+// alone (the baseline), then every later epoch's writes run concurrently
+// with the previous epoch's snapshot stage-out. Snapshot isolation is
+// what makes the overlap safe — the drain reads the namespace as pinned
+// at its tag's epoch while the live writers overwrite the same files —
+// and the report quantifies it: overlapped write throughput over the
+// baseline is the overlap efficiency (1.0 = staging is free).
+func runCheckpoint(factory workload.ClientFactory, cfg checkpointConfig) error {
+	if cfg.Epochs < 2 {
+		return fmt.Errorf("checkpoint: need at least 2 epochs (got %d)", cfg.Epochs)
+	}
+	c, err := factory()
+	if err != nil {
+		return err
+	}
+	out := cfg.OutDir
+	if out == "" {
+		dir, err := os.MkdirTemp("", "gkfs-ck-")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		out = dir
+	} else if err := os.MkdirAll(out, 0o777); err != nil {
+		return err
+	}
+	for w := 0; w < cfg.Workers; w++ {
+		if err := ckRetry(func() error { return c.MkdirAll(fmt.Sprintf("%s/w%d", ckDir, w)) }); err != nil {
+			return err
+		}
+	}
+	epochBytes := int64(cfg.Workers) * int64(cfg.Files) * cfg.FileBytes
+	mibps := func(d time.Duration) float64 { return float64(epochBytes) / (1 << 20) / d.Seconds() }
+	fmt.Printf("checkpoint: %d workers x %d files x %d bytes, %d epochs\n",
+		cfg.Workers, cfg.Files, cfg.FileBytes, cfg.Epochs)
+
+	// Epoch 0 writes with no concurrent drain: the baseline.
+	d0, err := writeCkEpoch(c, cfg, 0)
+	if err != nil {
+		return err
+	}
+	baseline := mibps(d0)
+	fmt.Printf("  epoch 0 write: %10.1f MiB/s (baseline)\n", baseline)
+
+	// Every later epoch: stage out epoch e-1's tag while writing epoch e.
+	var overlapped float64
+	for e := 1; e < cfg.Epochs; e++ {
+		tag := ckTag(e - 1)
+		epoch, err := ckSnapshot(c, tag)
+		if err != nil {
+			return fmt.Errorf("snapshot %s: %w", tag, err)
+		}
+		var (
+			wg       sync.WaitGroup
+			rep      *staging.Report
+			stageErr error
+			stageDur time.Duration
+		)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			begin := time.Now()
+			rep, stageErr = ckStageOut(c, tag, filepath.Join(out, tag))
+			stageDur = time.Since(begin)
+		}()
+		dw, werr := writeCkEpoch(c, cfg, e)
+		wg.Wait()
+		if werr != nil {
+			return werr
+		}
+		if stageErr != nil {
+			return fmt.Errorf("stage-out %s: %w", tag, stageErr)
+		}
+		if err := ckRetry(func() error { return c.SnapshotDrop(tag) }); err != nil {
+			return fmt.Errorf("drop %s: %w", tag, err)
+		}
+		overlapped += mibps(dw)
+		fmt.Printf("  epoch %d write: %10.1f MiB/s | stage-out %s (epoch %d): %d files, %10.1f MiB/s\n",
+			e, mibps(dw), tag, epoch, rep.Files, float64(rep.Bytes)/(1<<20)/stageDur.Seconds())
+	}
+
+	// The last epoch drains without competing writers, completing the set
+	// of staged trees (one per epoch) for external diff -r checks.
+	lastTag := ckTag(cfg.Epochs - 1)
+	if _, err := ckSnapshot(c, lastTag); err != nil {
+		return fmt.Errorf("snapshot %s: %w", lastTag, err)
+	}
+	if _, err := ckStageOut(c, lastTag, filepath.Join(out, lastTag)); err != nil {
+		return fmt.Errorf("stage-out %s: %w", lastTag, err)
+	}
+	if err := ckRetry(func() error { return c.SnapshotDrop(lastTag) }); err != nil {
+		return fmt.Errorf("drop %s: %w", lastTag, err)
+	}
+
+	eff := overlapped / float64(cfg.Epochs-1) / baseline
+	fmt.Printf("  overlap efficiency: %.0f%% of baseline write throughput while staging out\n", eff*100)
+
+	truthRoot := ""
+	if cfg.OutDir != "" {
+		truthRoot = filepath.Join(out, "truth")
+	}
+	files, total := 0, int64(0)
+	for e := 0; e < cfg.Epochs; e++ {
+		truthDir := ""
+		if truthRoot != "" {
+			truthDir = filepath.Join(truthRoot, ckTag(e))
+		}
+		n, b, err := ckVerifyTree(cfg, e, filepath.Join(out, ckTag(e)), truthDir)
+		if err != nil {
+			return fmt.Errorf("checkpoint verify FAILED: %w", err)
+		}
+		files, total = files+n, total+b
+	}
+	if cfg.Verify {
+		fmt.Printf("checkpoint: verify OK — every staged tree matches its epoch pre-image (%d files, %d bytes)\n",
+			files, total)
+	}
+	return nil
+}

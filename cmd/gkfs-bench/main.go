@@ -9,6 +9,7 @@
 //	gkfs-bench -mode stage -nodes 4 -stage-large 256MiB -files 2000
 //	gkfs-bench -mode read -daemons ... -workers 1 -block 64MiB -transfer 256KiB
 //	gkfs-bench -mode io -daemons ... -replicas 2 -block 64MiB -io-copy /tmp/truth.dat
+//	gkfs-bench -mode checkpoint -daemons ... -workers 4 -files 8 -ck-bytes 1MiB -ck-out /tmp/ck
 package main
 
 import (
@@ -56,7 +57,7 @@ func parseSize(s string) (int64, error) {
 }
 
 func main() {
-	mode := flag.String("mode", "mdtest", "workload: mdtest | ior | stage | read | io")
+	mode := flag.String("mode", "mdtest", "workload: mdtest | ior | stage | read | io | checkpoint")
 	daemons := flag.String("daemons", "", "existing TCP deployment (comma-separated); empty = in-process cluster")
 	nodes := flag.Int("nodes", 4, "in-process cluster node count")
 	chunkFlag := flag.String("chunk", "512KiB", "chunk size")
@@ -87,6 +88,9 @@ func main() {
 	ioCopy := flag.String("io-copy", "", "io: also save the exact byte stream to this local file (ground truth for an external cmp)")
 	ioDelay := flag.Duration("io-delay", 0, "io: pause between transfers, stretching the write phase so an external fault can land mid-stream")
 	traceSample := flag.Int("trace-sample", 0, "trace every Nth RPC: the call carries a trace ID and both ends log a gkfs.trace event (0 = off)")
+	ckEpochs := flag.Int("ck-epochs", 3, "checkpoint: rounds to run (each epoch's writes overlap the previous epoch's snapshot stage-out)")
+	ckBytesFlag := flag.String("ck-bytes", "1MiB", "checkpoint: bytes per checkpoint file (count = -workers x -files)")
+	ckOut := flag.String("ck-out", "", "checkpoint: keep the staged trees and ground truth under this directory (empty = temp, removed)")
 	flag.Parse()
 
 	chunk, err := parseSize(*chunkFlag)
@@ -247,6 +251,17 @@ func main() {
 		if err := runIO(factory, ioConfig{
 			Path: *ioPath, Bytes: block, Transfer: transfer,
 			Delay: *ioDelay, Copy: *ioCopy,
+		}); err != nil {
+			log.Fatalf("gkfs-bench: %v", err)
+		}
+	case "checkpoint":
+		bytes, err := parseSize(*ckBytesFlag)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := runCheckpoint(factory, checkpointConfig{
+			Workers: *workers, Files: *files, FileBytes: bytes,
+			Epochs: *ckEpochs, OutDir: *ckOut, Verify: *verify,
 		}); err != nil {
 			log.Fatalf("gkfs-bench: %v", err)
 		}

@@ -25,8 +25,12 @@ package main
 
 import (
 	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -48,6 +52,12 @@ type checker struct {
 	conns    []rpc.Conn
 	dist     distributor.Distributor
 
+	// snap pins every namespace and data read to epoch (-snapshot): the
+	// checker then verifies the pinned view — version history resolution,
+	// chunk pre-images — instead of the live namespace.
+	snap  bool
+	epoch uint64
+
 	dirs, files, bytes int64
 	replicaChunks      int64
 	problems           int
@@ -58,8 +68,23 @@ func (ck *checker) problem(format string, args ...interface{}) {
 	fmt.Printf("PROBLEM: "+format+"\n", args...)
 }
 
+// statFS and readDirFS pin to the snapshot epoch when one is in play.
+func (ck *checker) statFS(p string) (client.FileInfo, error) {
+	if ck.snap {
+		return ck.c.StatAt(p, ck.epoch)
+	}
+	return ck.c.Stat(p)
+}
+
+func (ck *checker) readDirFS(p string) ([]client.DirEntry, error) {
+	if ck.snap {
+		return ck.c.ReadDirAt(p, ck.epoch)
+	}
+	return ck.c.ReadDir(p)
+}
+
 func (ck *checker) walk(dir string) {
-	ents, err := ck.c.ReadDir(dir)
+	ents, err := ck.readDirFS(dir)
 	if err != nil {
 		ck.problem("readdir %s: %v", dir, err)
 		return
@@ -69,7 +94,7 @@ func (ck *checker) walk(dir string) {
 		if dir == "/" {
 			path = "/" + e.Name
 		}
-		info, err := ck.c.Stat(path)
+		info, err := ck.statFS(path)
 		if err != nil {
 			ck.problem("listed entry %s does not stat: %v", path, err)
 			continue
@@ -85,10 +110,17 @@ func (ck *checker) walk(dir string) {
 		ck.files++
 		ck.bytes += info.Size()
 		if !e.IsDir && e.Size != info.Size() {
-			// Listings are eventually consistent; sizes may lag under
-			// concurrent writers. Flag only on a quiescent system.
-			fmt.Printf("note: %s listed size %d != stat size %d (eventual consistency)\n",
-				path, e.Size, info.Size())
+			if ck.snap {
+				// A pinned epoch has no concurrent writers to excuse a
+				// lag: both reads resolve the same version history, so
+				// disagreement means the history itself is torn.
+				ck.problem("%s: snapshot listing size %d != snapshot stat size %d", path, e.Size, info.Size())
+			} else {
+				// Listings are eventually consistent; sizes may lag under
+				// concurrent writers. Flag only on a quiescent system.
+				fmt.Printf("note: %s listed size %d != stat size %d (eventual consistency)\n",
+					path, e.Size, info.Size())
+			}
 		}
 		ck.checkData(path, info.Size())
 		ck.checkReplicas(path, info.Size())
@@ -99,18 +131,28 @@ func (ck *checker) checkData(path string, size int64) {
 	if size == 0 {
 		return
 	}
-	fd, err := ck.c.Open(path, client.O_RDONLY)
-	if err != nil {
-		ck.problem("open %s: %v", path, err)
-		return
+	var read func(p []byte, off int64) (int, error)
+	if ck.snap {
+		read = func(p []byte, off int64) (int, error) {
+			return ck.c.ReadSnapshot(path, ck.epoch, p, off)
+		}
+	} else {
+		fd, err := ck.c.Open(path, client.O_RDONLY)
+		if err != nil {
+			ck.problem("open %s: %v", path, err)
+			return
+		}
+		defer ck.c.Close(fd)
+		read = func(p []byte, off int64) (int, error) {
+			return ck.c.ReadAt(fd, p, off)
+		}
 	}
-	defer ck.c.Close(fd)
 	probe := func(off, n int64) {
 		if n <= 0 {
 			return
 		}
 		buf := make([]byte, n)
-		got, err := ck.c.ReadAt(fd, buf, off)
+		got, err := read(buf, off)
 		if err != nil && err.Error() != "EOF" && got != int(n) {
 			ck.problem("read %s @%d: %d bytes, %v", path, off, got, err)
 		}
@@ -140,11 +182,17 @@ func (ck *checker) checkData(path string, size int64) {
 // interrogated. Bytes past the daemon's last present byte read as zeros,
 // exactly as the client-side protocol guarantees, so two full-chunk
 // reads from agreeing replicas are byte-identical even when their chunk
-// files have different physical lengths.
+// files have different physical lengths. In snapshot mode the request
+// carries the pinned epoch, so the daemon serves the chunk's pre-image
+// (a chunk overwritten since the snapshot reads as it was at the epoch).
 func (ck *checker) readChunkFrom(node int, path string, id meta.ChunkID, n int64) ([]byte, error) {
-	e := rpc.NewEnc(len(path) + 37)
+	e := rpc.NewEnc(len(path) + 46)
 	e.Str(path)
 	proto.EncodeSpans(e, []proto.ChunkSpan{{ID: id, Off: 0, Len: n}})
+	if ck.snap {
+		e.U8(proto.ReadAtEpoch)
+		e.U64(ck.epoch)
+	}
 	buf := make([]byte, n)
 	payload, err := ck.conns[node].Call(proto.OpReadChunks, e.Bytes(), buf, rpc.BulkOut)
 	if err != nil {
@@ -231,20 +279,76 @@ func (ck *checker) checkManifest(mf *staging.Manifest, root string) {
 			paths[i] = "/" + ent.Rel
 		}
 	}
-	infos, errs := ck.c.StatMany(paths)
+	infos := make([]client.FileInfo, len(ents))
+	errs := make([]error, len(ents))
+	if ck.snap {
+		// Snapshot mode resolves each entry against the pinned version
+		// history instead of the live record (the batched metadata plane
+		// has no epoch dimension; a manifest check is not hot-path).
+		for i := range paths {
+			infos[i], errs[i] = ck.c.StatAt(paths[i], ck.epoch)
+		}
+	} else {
+		infos, errs = ck.c.StatMany(paths)
+	}
+	hashed := 0
 	for i, ent := range ents {
 		switch {
 		case errs[i] != nil:
 			ck.problem("manifest entry %s missing from cluster: %v", paths[i], errs[i])
+			continue
 		case infos[i].IsDir() != ent.Dir:
 			ck.problem("manifest entry %s: recorded dir=%v, cluster says dir=%v",
 				paths[i], ent.Dir, infos[i].IsDir())
+			continue
 		case !ent.Dir && infos[i].Size() != ent.Size:
 			ck.problem("manifest entry %s: recorded size %d, cluster size %d",
 				paths[i], ent.Size, infos[i].Size())
+			continue
+		}
+		// In snapshot mode a recorded hash is re-provable: the pinned
+		// pre-image bytes must still produce it, however many times the
+		// live file was overwritten since the tag was staged out.
+		if ck.snap && !ent.Dir && ent.Hash != "" {
+			if sum, err := ck.hashAtEpoch(paths[i], ent.Size); err != nil {
+				ck.problem("manifest entry %s: hash pre-image: %v", paths[i], err)
+			} else if sum != ent.Hash {
+				ck.problem("manifest entry %s: recorded hash %s, epoch pre-image hashes %s",
+					paths[i], ent.Hash, sum)
+			} else {
+				hashed++
+			}
 		}
 	}
+	if hashed > 0 {
+		fmt.Printf("manifest: cross-checked %d entries (%d pre-image hashes verified)\n", len(ents), hashed)
+		return
+	}
 	fmt.Printf("manifest: cross-checked %d entries\n", len(ents))
+}
+
+// hashAtEpoch streams a file's epoch-pinned bytes and returns their
+// SHA-256 in the manifest's hex form.
+func (ck *checker) hashAtEpoch(path string, size int64) (string, error) {
+	h := sha256.New()
+	buf := make([]byte, min64(ck.chunk, size))
+	for off := int64(0); off < size; {
+		n, err := ck.c.ReadSnapshot(path, ck.epoch, buf, off)
+		if n > 0 {
+			h.Write(buf[:n])
+			off += int64(n)
+		}
+		if errors.Is(err, io.EOF) {
+			if off != size {
+				return "", fmt.Errorf("EOF at %d of %d bytes", off, size)
+			}
+			break
+		}
+		if err != nil {
+			return "", err
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
 }
 
 func min64(a, b int64) int64 {
@@ -260,6 +364,7 @@ func main() {
 	root := flag.String("root", "/", "subtree to check")
 	deep := flag.Bool("deep", false, "read every byte instead of probing")
 	manifest := flag.String("manifest", "", "cross-check this staging manifest against live cluster metadata")
+	snapTag := flag.String("snapshot", "", "check the namespace as pinned by this committed snapshot tag instead of the live one; with -manifest, recorded hashes are re-verified against the epoch's chunk pre-images")
 	replicas := flag.Int("replicas", 1, "deployment's chunk replication factor R; R > 1 adds the replica-agreement check")
 	distName := flag.String("distributor", "simplehash", "placement pattern the deployment uses: simplehash | guided-first-chunk")
 	timeout := flag.Duration("timeout", 60*time.Second, "per-RPC timeout")
@@ -292,6 +397,15 @@ func main() {
 	}
 
 	ck := &checker{c: c, deep: *deep, chunk: *chunk, replicas: *replicas, conns: conns, dist: dist}
+	if *snapTag != "" {
+		epoch, err := c.SnapshotEpoch(*snapTag)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gkfs-fsck: snapshot %q: %v\n", *snapTag, err)
+			os.Exit(1)
+		}
+		ck.snap, ck.epoch = true, epoch
+		fmt.Printf("snapshot: checking tag %s, pinned at epoch %d\n", *snapTag, epoch)
+	}
 	begin := time.Now()
 	ck.walk(*root)
 	if *manifest != "" {

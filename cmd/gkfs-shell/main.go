@@ -228,6 +228,58 @@ func main() {
 		if err := rep.Err(); err != nil {
 			fatal("%s: per-file failures:\n%v", cmd, err)
 		}
+	case "snapshot":
+		// Subcommands mirror the FS facade: create pins the namespace
+		// cluster-wide (two-phase, client-driven), list shows the tags
+		// every daemon agrees on, drop releases a tag's pinned history,
+		// stage-out copies a tree exactly as pinned at a tag's epoch.
+		need(rest, 1)
+		sub, sargs := rest[0], rest[1:]
+		switch sub {
+		case "create":
+			need(sargs, 1)
+			epoch, err := c.Snapshot(sargs[0])
+			if err != nil {
+				fatal("snapshot create: %v", err)
+			}
+			fmt.Printf("snapshot %s pinned at epoch %d\n", sargs[0], epoch)
+		case "list":
+			ents, err := c.Snapshots()
+			if err != nil {
+				fatal("snapshot list: %v", err)
+			}
+			for _, ent := range ents {
+				fmt.Printf("%-24s epoch %d\n", ent.Tag, ent.Epoch)
+			}
+		case "drop":
+			need(sargs, 1)
+			if err := c.SnapshotDrop(sargs[0]); err != nil {
+				fatal("snapshot drop: %v", err)
+			}
+			fmt.Printf("snapshot %s dropped\n", sargs[0])
+		case "stage-out":
+			need(sargs, 3)
+			opts := staging.Options{
+				Workers:  *stageWorkers,
+				Manifest: *manifest,
+				Snapshot: sargs[0],
+			}
+			rep, err := staging.StageOut(c, sargs[1], sargs[2], opts)
+			if rep != nil {
+				fmt.Printf("snapshot stage-out %s %s -> %s: %s\n", sargs[0], sargs[1], sargs[2], rep.Summary())
+				for _, note := range rep.Notes {
+					fmt.Fprintf(os.Stderr, "note: %s\n", note)
+				}
+			}
+			if err != nil {
+				fatal("snapshot stage-out: %v", err)
+			}
+			if err := rep.Err(); err != nil {
+				fatal("snapshot stage-out: per-file failures:\n%v", err)
+			}
+		default:
+			usage()
+		}
 	case "stats":
 		for {
 			runStats(c, *jsonOut)
@@ -356,6 +408,10 @@ commands:
   cat <remote>         print a file
   stage-in <localdir> <remotedir>   parallel-copy a directory tree in
   stage-out <remotedir> <localdir>  parallel-copy a directory tree out
+  snapshot create <tag>             pin the namespace cluster-wide
+  snapshot list                     list committed snapshots
+  snapshot drop <tag>               unpin a snapshot
+  snapshot stage-out <tag> <remotedir> <localdir>  copy a tree as pinned at <tag>
   stats                print per-daemon operation counters
 staging flags:   -stage-workers n, -manifest file, -incremental
 read flags:      -readahead, -readwindow n, -cachebytes n

@@ -79,6 +79,9 @@ type DirEntry = client.DirEntry
 // DaemonStats exposes per-daemon operation counters.
 type DaemonStats = daemon.Stats
 
+// SnapshotInfo names one committed snapshot: its tag and pinned epoch.
+type SnapshotInfo = proto.SnapshotEntry
+
 // StageOptions tune a stage-in/stage-out transfer (see FS.StageIn).
 type StageOptions = staging.Options
 
@@ -223,6 +226,18 @@ func WithStageOutOnClose(fsDir, hostDir string, opts *StageOptions) Option {
 		}
 		c.StageOutOnClose = spec
 	}
+}
+
+// WithStageOutFrom pins WithStageOutOnClose's transfer to the named
+// snapshot tag: Close stages out the namespace exactly as pinned when
+// FS.Snapshot(tag) committed, untorn by whatever the job wrote
+// afterwards — the checkpoint/restart shape where epoch N+1 computes
+// while epoch N drains to the permanent file system. The tag must be
+// committed before Close runs; an unknown tag fails the stage-out
+// structurally. Ignored without WithStageOutOnClose; order relative to
+// it does not matter.
+func WithStageOutFrom(tag string) Option {
+	return func(c *core.Config) { c.StageOutFrom = tag }
 }
 
 // WithTelemetry enables client-side metrics: every FS mounted from the

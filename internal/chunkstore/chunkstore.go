@@ -12,6 +12,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/meta"
 	"repro/internal/vfs"
@@ -23,10 +24,30 @@ type Store struct {
 	// pathLocks serialize remove/truncate against writes of the same
 	// path. Plain chunk writes to different chunks proceed concurrently.
 	pathLocks [64]sync.RWMutex
+
+	// cowMu guards the snapshot copy-on-write state below (cow.go): the
+	// pre-image index, the last-write-epoch map, and the first-touch pin
+	// decision itself.
+	cowMu sync.Mutex
+	// pre indexes pre-image files: chunkKey → sorted ascending supersede
+	// epochs. Rebuilt from the snap/ directory on open.
+	pre map[string][]uint64
+	// last tracks the newest write epoch seen per chunk this process
+	// lifetime. Absence means unknown history (pin conservatively).
+	last map[string]uint64
+
+	cowCopies, cowBytes atomic.Uint64
 }
 
-// New returns a store backed by fs, rooted at "chunks/".
-func New(fs vfs.FS) *Store { return &Store{fs: fs} }
+// New returns a store backed by fs, rooted at "chunks/" with snapshot
+// pre-images under "snap/".
+func New(fs vfs.FS) *Store {
+	s := &Store{fs: fs, pre: make(map[string][]uint64), last: make(map[string]uint64)}
+	// A listing failure leaves the index empty; reads then resolve to
+	// live chunks, the same behavior as a snapshot-free store.
+	_ = s.loadPreImages()
+	return s
+}
 
 // escapePath turns a GekkoFS path into a single directory name:
 // '#' → "#23", '/' → "#2f". The mapping is injective, so distinct paths
@@ -88,12 +109,23 @@ func (s *Store) ReadChunk(path string, id meta.ChunkID, offset int64, dst []byte
 	l := s.lockFor(path)
 	l.RLock()
 	defer l.RUnlock()
-	f, err := s.fs.Open(chunkFile(path, id))
-	if errors.Is(err, vfs.ErrNotExist) {
-		return 0, nil // chunk never written: hole
-	}
+	n, err := s.readFileAt(chunkFile(path, id), offset, dst)
 	if err != nil {
 		return 0, fmt.Errorf("chunkstore: read %s#%d: %w", path, id, err)
+	}
+	return n, nil
+}
+
+// readFileAt reads up to len(dst) bytes from a chunk or pre-image file,
+// clamping to the file's size; a missing file reads as a hole. The
+// caller holds whatever lock the file needs.
+func (s *Store) readFileAt(name string, offset int64, dst []byte) (int, error) {
+	f, err := s.fs.Open(name)
+	if errors.Is(err, vfs.ErrNotExist) {
+		return 0, nil // never written: hole
+	}
+	if err != nil {
+		return 0, err
 	}
 	defer f.Close()
 	size, err := f.Size()
@@ -111,7 +143,7 @@ func (s *Store) ReadChunk(path string, id meta.ChunkID, offset int64, dst []byte
 		return 0, nil
 	}
 	if _, err := f.ReadAt(dst[:n], offset); err != nil {
-		return 0, fmt.Errorf("chunkstore: read %s#%d: %w", path, id, err)
+		return 0, err
 	}
 	return int(n), nil
 }

@@ -713,11 +713,24 @@ func (c *Client) ReadDir(path string) ([]DirEntry, error) {
 // a consumer (stage-out's host-tree recreation, a recursive walk) would
 // resolve outside the directory it asked about.
 func (c *Client) readDirNode(node int, dir string) ([]DirEntry, error) {
+	return c.readDirNodeAt(node, dir, 0, 0)
+}
+
+// readDirNodeAt is readDirNode with the v8 trailing extension: with
+// proto.StatAtEpoch in flags, the daemon resolves every record at the
+// given snapshot epoch instead of its live state.
+func (c *Client) readDirNodeAt(node int, dir string, flags uint8, at uint64) ([]DirEntry, error) {
 	var ents []DirEntry
 	after := ""
 	for {
-		e := rpc.NewEnc(len(dir) + len(after) + 12)
+		e := rpc.NewEnc(len(dir) + len(after) + 24)
 		e.Str(dir).Str(after).U32(c.readDirPage)
+		if flags != 0 {
+			e.U8(flags)
+			if flags&proto.StatAtEpoch != 0 {
+				e.U64(at)
+			}
+		}
 		d, err := c.call(node, proto.OpReadDir, e.Bytes(), nil, rpc.BulkNone)
 		if err != nil {
 			return nil, err

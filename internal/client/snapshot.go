@@ -1,0 +1,391 @@
+package client
+
+// Snapshots, client side. Daemons never coordinate with each other, so
+// the client drives the two-phase pin: reserve the tag at every daemon
+// (each proposes its current epoch), take the maximum M, then commit
+// tag→M everywhere. A reserve or commit that cannot reach a daemon
+// aborts the tag — a snapshot either exists identically on every daemon
+// or is not usable at all (Snapshots intersects the per-daemon views).
+// Snapshot reads are plain reads with a pinned epoch riding the v8
+// trailing extensions; they fan out exactly like live ones.
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/meta"
+	"repro/internal/proto"
+	"repro/internal/rpc"
+)
+
+// ErrSnapshotTag reports an unusable snapshot tag.
+var ErrSnapshotTag = errors.New("gekkofs: invalid snapshot tag")
+
+func validTag(tag string) error {
+	if len(tag) == 0 || len(tag) > proto.MaxSnapshotTag {
+		return fmt.Errorf("%w: %q", ErrSnapshotTag, tag)
+	}
+	return nil
+}
+
+// SnapshotReserve runs phase one against every daemon and returns the
+// cluster epoch the snapshot will pin: the maximum of the per-daemon
+// proposals. Exposed separately from Snapshot (alongside SnapshotCommit
+// and SnapshotAbort) so crash harnesses can sever a daemon between the
+// phases; applications want Snapshot.
+func (c *Client) SnapshotReserve(tag string) (uint64, error) {
+	if err := validTag(tag); err != nil {
+		return 0, err
+	}
+	proposals := make([]uint64, len(c.conns))
+	err := c.fanOut(func(node int) error {
+		e := rpc.NewEnc(len(tag) + 4)
+		e.U8(proto.SnapReserve).Str(tag)
+		d, err := c.call(node, proto.OpSnapshot, e.Bytes(), nil, rpc.BulkNone)
+		if err != nil {
+			return err
+		}
+		proposals[node] = d.U64()
+		return d.Done()
+	})
+	if err != nil {
+		return 0, err
+	}
+	var epoch uint64
+	for _, p := range proposals {
+		epoch = max(epoch, p)
+	}
+	return epoch, nil
+}
+
+// SnapshotCommit pins tag at epoch on every daemon (phase two).
+// Idempotent — safe to retry against daemons that already committed or
+// that restarted since the reserve.
+func (c *Client) SnapshotCommit(tag string, epoch uint64) error {
+	if err := validTag(tag); err != nil {
+		return err
+	}
+	return c.fanOut(func(node int) error {
+		e := rpc.NewEnc(len(tag) + 12)
+		e.U8(proto.SnapCommit).Str(tag).U64(epoch)
+		d, err := c.call(node, proto.OpSnapshot, e.Bytes(), nil, rpc.BulkNone)
+		if err != nil {
+			return err
+		}
+		d.U64() // pinned epoch (echoes the request, or the prior commit's)
+		return d.Done()
+	})
+}
+
+// SnapshotAbort discards tag's reservation everywhere it still pends.
+// Idempotent; committed daemons are untouched.
+func (c *Client) SnapshotAbort(tag string) error {
+	if err := validTag(tag); err != nil {
+		return err
+	}
+	return c.fanOut(func(node int) error {
+		e := rpc.NewEnc(len(tag) + 4)
+		e.U8(proto.SnapAbort).Str(tag)
+		d, err := c.call(node, proto.OpSnapshot, e.Bytes(), nil, rpc.BulkNone)
+		if err != nil {
+			return err
+		}
+		return d.Done()
+	})
+}
+
+// Snapshot pins the namespace under tag and returns the epoch the tag
+// pinned. On failure the reservation is aborted best-effort and the tag
+// is not usable (a partially committed tag never survives the
+// Snapshots intersection).
+func (c *Client) Snapshot(tag string) (uint64, error) {
+	epoch, err := c.SnapshotReserve(tag)
+	if err != nil {
+		if !errors.Is(err, ErrSnapshotTag) {
+			_ = c.SnapshotAbort(tag)
+		}
+		return 0, err
+	}
+	if err := c.SnapshotCommit(tag, epoch); err != nil {
+		_ = c.SnapshotAbort(tag)
+		return 0, fmt.Errorf("snapshot %s: commit: %w", tag, err)
+	}
+	return epoch, nil
+}
+
+// Snapshots lists the usable snapshots: tags every daemon has committed
+// at the same epoch. A tag a failed commit left on only some daemons is
+// filtered out here rather than surfacing as a readable-but-torn view.
+func (c *Client) Snapshots() ([]proto.SnapshotEntry, error) {
+	perNode := make([][]proto.SnapshotEntry, len(c.conns))
+	err := c.fanOut(func(node int) error {
+		d, err := c.call(node, proto.OpSnapshotList, nil, nil, rpc.BulkNone)
+		if err != nil {
+			return err
+		}
+		ents := proto.DecodeSnapshotList(d)
+		if err := d.Done(); err != nil {
+			return err
+		}
+		perNode[node] = ents
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	agreed := make(map[string]uint64, len(perNode[0]))
+	for _, ent := range perNode[0] {
+		agreed[ent.Tag] = ent.Epoch
+	}
+	for _, ents := range perNode[1:] {
+		seen := make(map[string]uint64, len(ents))
+		for _, ent := range ents {
+			seen[ent.Tag] = ent.Epoch
+		}
+		for tag, epoch := range agreed {
+			if e, ok := seen[tag]; !ok || e != epoch {
+				delete(agreed, tag)
+			}
+		}
+	}
+	out := make([]proto.SnapshotEntry, 0, len(agreed))
+	for tag, epoch := range agreed {
+		out = append(out, proto.SnapshotEntry{Tag: tag, Epoch: epoch})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Tag < out[j].Tag })
+	return out, nil
+}
+
+// SnapshotEpoch maps a usable (fully committed) tag to its pinned
+// epoch, for snapshot-aware readers that work in epochs — staging,
+// fsck — so they resolve the tag once and pin every subsequent read.
+func (c *Client) SnapshotEpoch(tag string) (uint64, error) {
+	if err := validTag(tag); err != nil {
+		return 0, err
+	}
+	ents, err := c.Snapshots()
+	if err != nil {
+		return 0, err
+	}
+	for _, ent := range ents {
+		if ent.Tag == tag {
+			return ent.Epoch, nil
+		}
+	}
+	return 0, fmt.Errorf("snapshot %s: %w", tag, proto.ErrNotExist)
+}
+
+// SnapshotDrop unpins tag cluster-wide, releasing the version history
+// and chunk pre-images it retained. ErrNotExist only when no daemon
+// knew the tag — dropping a partially committed tag cleans up the
+// daemons that do hold it.
+func (c *Client) SnapshotDrop(tag string) error {
+	if err := validTag(tag); err != nil {
+		return err
+	}
+	missing := make([]bool, len(c.conns))
+	err := c.fanOut(func(node int) error {
+		e := rpc.NewEnc(len(tag) + 4)
+		e.Str(tag)
+		d, err := c.call(node, proto.OpSnapshotDrop, e.Bytes(), nil, rpc.BulkNone)
+		if errors.Is(err, proto.ErrNotExist) {
+			missing[node] = true
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		return d.Done()
+	})
+	if err != nil {
+		return err
+	}
+	for _, m := range missing {
+		if !m {
+			return nil
+		}
+	}
+	return fmt.Errorf("snapshot %s: %w", tag, proto.ErrNotExist)
+}
+
+// StatAt is Stat against the namespace a snapshot epoch pinned.
+func (c *Client) StatAt(path string, epoch uint64) (FileInfo, error) {
+	p, err := meta.Clean(path)
+	if err != nil {
+		return FileInfo{}, err
+	}
+	e := rpc.NewEnc(len(p) + 16)
+	e.Str(p).U8(proto.StatAtEpoch).U64(epoch)
+	d, err := c.call(c.dist.MetaTarget(p), proto.OpStat, e.Bytes(), nil, rpc.BulkNone)
+	if err != nil {
+		return FileInfo{}, err
+	}
+	blob := d.Blob()
+	if err := d.Done(); err != nil {
+		return FileInfo{}, err
+	}
+	md, err := meta.DecodeMetadata(blob)
+	if err != nil {
+		return FileInfo{}, err
+	}
+	return infoFromMeta(p, md), nil
+}
+
+// Versions returns a path's stored version history, newest first — the
+// vkv-style accessor. The history reflects the bounded retention
+// window, not every write ever made.
+func (c *Client) Versions(path string) ([]meta.Version, error) {
+	p, err := meta.Clean(path)
+	if err != nil {
+		return nil, err
+	}
+	e := rpc.NewEnc(len(p) + 8)
+	e.Str(p).U8(proto.StatWantVersions)
+	d, err := c.call(c.dist.MetaTarget(p), proto.OpStat, e.Bytes(), nil, rpc.BulkNone)
+	if err != nil {
+		return nil, err
+	}
+	d.Blob() // resolved live record; history follows
+	vs := proto.DecodeVersions(d)
+	if err := d.Done(); err != nil {
+		return nil, err
+	}
+	return vs, nil
+}
+
+// ReadDirAt is ReadDir against the namespace a snapshot epoch pinned.
+func (c *Client) ReadDirAt(path string, epoch uint64) ([]DirEntry, error) {
+	p, err := meta.Clean(path)
+	if err != nil {
+		return nil, err
+	}
+	if p != meta.Root {
+		fi, err := c.StatAt(p, epoch)
+		if err != nil {
+			return nil, err
+		}
+		if !fi.IsDir() {
+			return nil, proto.ErrNotDir
+		}
+	}
+	perNode := make([][]DirEntry, len(c.conns))
+	err = c.fanOut(func(node int) error {
+		ents, err := c.readDirNodeAt(node, p, proto.StatAtEpoch, epoch)
+		if err != nil {
+			return err
+		}
+		perNode[node] = ents
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var all []DirEntry
+	for _, ents := range perNode {
+		all = append(all, ents...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].Name < all[j].Name })
+	return all, nil
+}
+
+// ReadSnapshot reads [off, off+len(p)) of path as pinned at epoch,
+// without a descriptor: snapshot content is immutable, so there is no
+// position, no write-behind and no size cache to coordinate with. Spans
+// fan out to the owning daemons exactly like live reads, each carrying
+// the epoch; the size clamp uses the metadata owner's view at that
+// epoch. Snapshot reads go to the primary replica only — pre-images
+// live where the primary chunk lived.
+func (c *Client) ReadSnapshot(path string, epoch uint64, p []byte, off int64) (int, error) {
+	cp, err := meta.Clean(path)
+	if err != nil {
+		return 0, err
+	}
+	if off < 0 {
+		return 0, fmt.Errorf("gekkofs: negative offset %d: %w", off, proto.ErrInval)
+	}
+	if len(p) == 0 {
+		return 0, nil
+	}
+	groups := c.groupByTarget(cp, off, int64(len(p)))
+	metaNode := c.dist.MetaTarget(cp)
+	if _, ok := groups[metaNode]; !ok {
+		groups[metaNode] = &targetGroup{} // pure size probe, no bulk
+	}
+	var sizeState uint8
+	var sizeView int64
+	err = runGroups(groups, func(node int, g *targetGroup) error {
+		e := rpc.NewEnc(len(cp) + 26 + 24*len(g.spans))
+		e.Str(cp)
+		proto.EncodeSpans(e, g.spans)
+		e.U8(proto.ReadWantSize | proto.ReadAtEpoch).U64(epoch)
+		var bulk []byte
+		pooled := false
+		dir := rpc.BulkNone
+		if g.bytes > 0 {
+			if len(g.spans) == 1 {
+				bulk = p[g.bufOff[0] : g.bufOff[0]+g.spans[0].Len]
+			} else {
+				bulk = rpc.GetBuf(int(g.bytes))
+				pooled = true
+				defer rpc.PutBuf(bulk)
+			}
+			clear(bulk)
+			dir = rpc.BulkOut
+		}
+		d, err := c.call(node, proto.OpReadChunks, e.Bytes(), bulk, dir)
+		if err != nil {
+			return err
+		}
+		cnt := d.U32()
+		if int(cnt) != len(g.spans) {
+			return fmt.Errorf("gekkofs: read reply carries %d span counts, want %d: %w",
+				cnt, len(g.spans), proto.ErrInval)
+		}
+		for i := uint32(0); i < cnt; i++ {
+			got := d.I64()
+			if s := g.spans[i]; got < 0 || got > s.Len {
+				return fmt.Errorf("gekkofs: read reply claims %d present bytes for a %d-byte span: %w",
+					got, s.Len, proto.ErrInval)
+			}
+		}
+		state := d.U8()
+		size := d.I64()
+		if err := d.Done(); err != nil {
+			return err
+		}
+		if node == metaNode {
+			sizeState, sizeView = state, size
+		}
+		if pooled {
+			var boff int64
+			for i, s := range g.spans {
+				copy(p[g.bufOff[i]:g.bufOff[i]+s.Len], bulk[boff:boff+s.Len])
+				boff += s.Len
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	switch sizeState {
+	case proto.ReadSizeFile:
+	case proto.ReadSizeNone:
+		return 0, proto.ErrNotExist // path did not exist at the epoch
+	default:
+		return 0, fmt.Errorf("gekkofs: read reply size state %d: %w", sizeState, proto.ErrInval)
+	}
+	if off >= sizeView {
+		return 0, io.EOF
+	}
+	n := int64(len(p))
+	if off+n > sizeView {
+		n = sizeView - off
+	}
+	if n < int64(len(p)) {
+		return int(n), io.EOF
+	}
+	return int(n), nil
+}

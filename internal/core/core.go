@@ -113,6 +113,11 @@ type Config struct {
 	// permanent file system exactly when the temporary one dissolves.
 	// Failures surface in Close's error and in StageOutReport.
 	StageOutOnClose *StageSpec
+	// StageOutFrom pins StageOutOnClose's reads to the named committed
+	// snapshot tag (see staging.Options.Snapshot): the staged tree is the
+	// namespace exactly as pinned at the tag's epoch, untorn by whatever
+	// the job wrote afterwards. Ignored without StageOutOnClose.
+	StageOutFrom string
 	// Telemetry enables client-side metrics: every client mounted from
 	// this cluster records its per-RPC latency histograms, in-flight
 	// gauge and transport wait times into a shared registry
@@ -420,8 +425,12 @@ func (c *Cluster) Close() error {
 		if err != nil {
 			stageErrs = append(stageErrs, fmt.Errorf("core: stage-out: %w", err))
 		} else {
+			sopts := c.cfg.StageOutOnClose.Options
+			if c.cfg.StageOutFrom != "" {
+				sopts.Snapshot = c.cfg.StageOutFrom
+			}
 			rep, err := staging.StageOut(stager, c.cfg.StageOutOnClose.FSDir,
-				c.cfg.StageOutOnClose.HostDir, c.cfg.StageOutOnClose.Options)
+				c.cfg.StageOutOnClose.HostDir, sopts)
 			c.stageOut = rep
 			if err != nil {
 				stageErrs = append(stageErrs, fmt.Errorf("core: stage-out: %w", err))

@@ -16,13 +16,21 @@ import (
 // instead of one per op — while per-op outcomes travel back as an errno
 // vector, so one failed sub-op never poisons its batchmates.
 
-// batchRec is the within-batch view of one path: the record as the batch
-// will leave it once applied. It overlays the store so later sub-ops of
-// the same batch observe earlier ones (a create after a remove of the
-// same path must succeed).
+// batchRec is the within-batch view of one path: the versioned record as
+// the batch will leave it once applied. It overlays the store so later
+// sub-ops of the same batch observe earlier ones (a create after a
+// remove of the same path must succeed). An empty history (nil V) means
+// the key is absent.
 type batchRec struct {
-	exists bool
-	md     meta.Metadata
+	vm meta.VersionedMeta
+}
+
+// live resolves the record's current state within the batch.
+func (r *batchRec) live() (meta.Metadata, bool) {
+	if len(r.vm.V) == 0 {
+		return meta.Metadata{}, false
+	}
+	return r.vm.Live()
 }
 
 func (d *Daemon) handleBatchMeta(req []byte, _ rpc.Bulk) ([]byte, error) {
@@ -32,12 +40,13 @@ func (d *Daemon) handleBatchMeta(req []byte, _ rpc.Bulk) ([]byte, error) {
 		return nil, err
 	}
 	results := make([]proto.MetaResult, len(ops))
+	epoch, retained := d.snapEpoch(), d.retainedEpochs()
 
 	// Keys of mutating sub-ops; their stripe locks are held across the
 	// whole read-validate-apply sequence so the batch is atomic with
-	// respect to the single-op handlers (PutIfAbsent, Update). The byte
-	// conversions are kept (keyOf) and handed to the batch via the owned
-	// variants — one key buffer per op, no re-copies.
+	// respect to the single-op handlers (Update). The byte conversions
+	// are kept (keyOf) and handed to the batch via the owned variants —
+	// one key buffer per op, no re-copies.
 	keys := make([][]byte, 0, len(ops))
 	keyOf := make([][]byte, len(ops))
 	for i := range ops {
@@ -63,101 +72,113 @@ func (d *Daemon) handleBatchMeta(req []byte, _ rpc.Bulk) ([]byte, error) {
 		if err != nil {
 			return batchRec{}, err
 		}
-		md, err := meta.DecodeMetadata(v)
+		vm, err := meta.DecodeVersionedMeta(v)
 		if err != nil {
 			return batchRec{}, fmt.Errorf("corrupt record at %s: %w", path, err)
 		}
-		return batchRec{exists: true, md: md}, nil
+		return batchRec{vm: vm}, nil
 	}
 
 	err := d.db.WithKeyLocks(keys, func() error {
 		for i := range ops {
 			op := &ops[i]
 			if op.Kind == proto.MetaOpStat {
-				// Stats bypass the decode+re-encode of load: outside the
-				// overlay, the stored record is the reply blob as-is.
 				d.statOps.Add(1)
-				if rec, ok := overlay[op.Path]; ok {
-					if !rec.exists {
-						results[i].Errno = proto.ErrnoNotExist
-					} else {
-						results[i].Blob = rec.md.Encode()
-					}
-					continue
-				}
-				v, err := d.db.Get([]byte(op.Path))
-				if errors.Is(err, kvstore.ErrNotFound) {
-					results[i].Errno = proto.ErrnoNotExist
-					continue
-				}
+				rec, err := load(op.Path)
 				if err != nil {
 					return err
 				}
-				results[i].Blob = v
+				md, ok := rec.live()
+				if !ok {
+					results[i].Errno = proto.ErrnoNotExist
+					continue
+				}
+				results[i].Blob = md.Encode()
 				continue
 			}
 			rec, err := load(op.Path)
 			if err != nil {
 				return err
 			}
+			cur, exists := rec.live()
 			switch op.Kind {
 			case proto.MetaOpCreate:
 				d.creates.Add(1)
-				if rec.exists {
+				if exists {
 					results[i].Errno = proto.ErrnoExist
 					continue
 				}
 				md := meta.Metadata{Mode: op.Mode, CTimeNS: op.TimeNS, MTimeNS: op.TimeNS}
-				batch.PutOwned(keyOf[i], md.Encode())
-				overlay[op.Path] = batchRec{exists: true, md: md}
+				rec.vm.Stamp(epoch, md)
+				rec.vm.Compact(retained)
+				batch.PutOwned(keyOf[i], rec.vm.Encode())
+				overlay[op.Path] = rec
 			case proto.MetaOpRemove:
 				d.removes.Add(1)
-				if !rec.exists {
+				if !exists {
 					results[i].Errno = proto.ErrnoNotExist
 					continue
 				}
-				if op.FileOnly && rec.md.IsDir() {
+				if op.FileOnly && cur.IsDir() {
 					results[i].Errno = proto.ErrnoIsDir
 					continue
 				}
-				batch.DeleteOwned(keyOf[i])
-				overlay[op.Path] = batchRec{}
-				results[i].Mode = rec.md.Mode
-				results[i].Size = rec.md.Size
+				rec.vm.StampTombstone(epoch)
+				rec.vm.Compact(retained)
+				if len(rec.vm.V) == 1 {
+					// Only the tombstone survives compaction: no retained
+					// snapshot sees the old state, drop the key outright.
+					batch.DeleteOwned(keyOf[i])
+				} else {
+					batch.PutOwned(keyOf[i], rec.vm.Encode())
+				}
+				overlay[op.Path] = rec
+				results[i].Mode = cur.Mode
+				results[i].Size = cur.Size
 			case proto.MetaOpUpdateSize:
 				d.sizeUpdates.Add(1)
-				if rec.exists && rec.md.IsDir() {
+				if exists && cur.IsDir() {
 					results[i].Errno = proto.ErrnoIsDir
 					continue
 				}
 				if op.Truncate {
-					if !rec.exists {
+					if !exists {
 						results[i].Errno = proto.ErrnoNotExist
 						continue
 					}
-					md := rec.md
+					md := cur
 					md.Size = op.Size
 					md.MTimeNS = op.TimeNS
-					batch.PutOwned(keyOf[i], md.Encode())
-					overlay[op.Path] = batchRec{exists: true, md: md}
+					rec.vm.Stamp(epoch, md)
+					rec.vm.Compact(retained)
+					batch.PutOwned(keyOf[i], rec.vm.Encode())
+					overlay[op.Path] = rec
 				} else {
 					// The grow stays a merge operand even inside a batch,
 					// keeping the max-size resolution semantics shared
-					// with the single-op path.
-					operand := rpc.NewEnc(16)
-					operand.I64(op.Size).I64(op.TimeNS)
+					// with the single-op path. The operand carries the
+					// arrival epoch for the merger (see sizeMerger).
+					operand := rpc.NewEnc(24)
+					operand.I64(op.Size).I64(op.TimeNS).U64(epoch)
 					batch.MergeOwned(keyOf[i], operand.Bytes())
-					md := rec.md
-					if !rec.exists {
-						md = meta.Metadata{Mode: meta.ModeRegular}
+					// Mirror the merger's outcome into the overlay so
+					// later sub-ops of this batch see the grown state.
+					switch {
+					case len(rec.vm.V) == 0:
+						rec.vm.V = []meta.Version{{Epoch: epoch, Meta: meta.Metadata{Mode: meta.ModeRegular}}}
+					case rec.vm.Newest().Tombstone:
+						rec.vm.Stamp(epoch, meta.Metadata{Mode: meta.ModeRegular})
+					case epoch > rec.vm.Newest().Epoch:
+						rec.vm.Stamp(epoch, rec.vm.Newest().Meta)
 					}
-					if op.Size > md.Size {
-						md.Size = op.Size
+					n := rec.vm.Newest()
+					if op.Size > n.Meta.Size {
+						n.Meta.Size = op.Size
 					}
-					if op.TimeNS > md.MTimeNS {
-						md.MTimeNS = op.TimeNS
+					if op.TimeNS > n.Meta.MTimeNS {
+						n.Meta.MTimeNS = op.TimeNS
 					}
-					overlay[op.Path] = batchRec{exists: true, md: md}
+					overlay[op.Path] = rec
 				}
 			}
 		}

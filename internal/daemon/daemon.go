@@ -65,10 +65,15 @@ type Daemon struct {
 	readDirs                  atomic.Uint64
 	batchRPCs, batchedOps     atomic.Uint64
 	replicaWrites             atomic.Uint64
+	snapPins, snapDrops       atomic.Uint64
+	snapReads                 atomic.Uint64
+
+	// snaps is the durable snapshot table's in-memory mirror (snapshot.go).
+	snaps snapState
 
 	reg       *telemetry.Registry
 	queueHist *telemetry.Histogram
-	opHists   [proto.OpBatchMeta + 1]*telemetry.Histogram
+	opHists   [proto.OpSnapshotDrop + 1]*telemetry.Histogram
 
 	startup time.Duration
 }
@@ -117,6 +122,10 @@ func New(cfg Config) (*Daemon, error) {
 		db:     db,
 		chunks: chunkstore.New(cfg.FS),
 	}
+	if err := d.loadSnapshots(); err != nil {
+		db.Close()
+		return nil, fmt.Errorf("daemon: snapshot state: %w", err)
+	}
 	d.register()
 	d.initTelemetry()
 	d.startup = time.Since(begin)
@@ -133,7 +142,7 @@ func (d *Daemon) StartupTime() time.Duration { return d.startup }
 // counters the transports maintain on the RPC server.
 func (d *Daemon) Stats() Stats {
 	w := d.srv.Wire().Snapshot()
-	return Stats{
+	st := Stats{
 		Creates:         d.creates.Load(),
 		StatOps:         d.statOps.Load(),
 		Removes:         d.removes.Load(),
@@ -154,7 +163,12 @@ func (d *Daemon) Stats() Stats {
 		VectoredWrites:  w.VectoredWrites,
 		ShmCalls:        w.ShmCalls,
 		ReplicaWrites:   d.replicaWrites.Load(),
+		SnapshotPins:    d.snapPins.Load(),
+		SnapshotDrops:   d.snapDrops.Load(),
+		SnapshotReads:   d.snapReads.Load(),
 	}
+	st.CowCopies, st.CowBytes = d.chunks.CowStats()
+	return st
 }
 
 // Close stops the RPC server and the metadata store.
@@ -163,40 +177,62 @@ func (d *Daemon) Close() error {
 	return d.db.Close()
 }
 
-// sizeMerger folds size-update operands (encoded [i64 size][i64 mtime])
-// into a metadata record, keeping the maximum size — the KV-store merge
-// GekkoFS performs for lock-free size growth. An operand landing on a
+// sizeMerger folds size-update operands (encoded [i64 size][i64 mtime],
+// plus a trailing [u64 epoch] since protocol v8) into a versioned
+// metadata record, keeping the maximum size — the KV-store merge GekkoFS
+// performs for lock-free size growth. An operand landing on a
 // concurrently removed path recreates a bare regular-file record; GekkoFS
 // accepts this relaxed outcome rather than serializing writers against
-// removers (paper §III-A).
+// removers (paper §III-A). The merger must stay deterministic — WAL
+// recovery replays it — so the epoch travels in the operand (stamped by
+// the handler at arrival) and version GC happens only in handlers.
 func sizeMerger(_ []byte, existing []byte, operands [][]byte) []byte {
-	var md meta.Metadata
+	var vm meta.VersionedMeta
 	if existing != nil {
-		if m, err := meta.DecodeMetadata(existing); err == nil {
-			md = m
+		if v, err := meta.DecodeVersionedMeta(existing); err == nil {
+			vm = v
 		}
-	} else {
-		md = meta.Metadata{Mode: meta.ModeRegular}
 	}
-	if md.IsDir() {
-		// Directories have no size to grow. The handlers refuse size
-		// updates on directory records up front, but that check is
-		// unlocked — an operand racing a mkdir can still land here, and
-		// must not mutate the directory.
-		return append([]byte(nil), existing...)
+	if len(vm.V) > 0 {
+		if md, live := vm.Live(); live && md.IsDir() {
+			// Directories have no size to grow. The handlers refuse size
+			// updates on directory records up front, but that check is
+			// unlocked — an operand racing a mkdir can still land here,
+			// and must not mutate the directory.
+			return append([]byte(nil), existing...)
+		}
 	}
 	for _, op := range operands {
 		d := rpc.NewDec(op)
 		size, mtime := d.I64(), d.I64()
+		var epoch uint64
+		if d.Err() == nil && d.Remaining() > 0 {
+			epoch = d.U64()
+		}
 		if d.Err() != nil {
 			continue
 		}
-		if size > md.Size {
-			md.Size = size
+		switch {
+		case len(vm.V) == 0:
+			// Absent (or corrupt) record: recreate at the operand's own
+			// epoch — not epoch 0, which would fabricate history earlier
+			// snapshots could see.
+			vm.V = []meta.Version{{Epoch: epoch, Meta: meta.Metadata{Mode: meta.ModeRegular}}}
+		case vm.Newest().Tombstone:
+			vm.Stamp(epoch, meta.Metadata{Mode: meta.ModeRegular})
+		case epoch > vm.Newest().Epoch:
+			vm.Stamp(epoch, vm.Newest().Meta)
 		}
-		if mtime > md.MTimeNS {
-			md.MTimeNS = mtime
+		n := vm.Newest()
+		if size > n.Meta.Size {
+			n.Meta.Size = size
+		}
+		if mtime > n.Meta.MTimeNS {
+			n.Meta.MTimeNS = mtime
 		}
 	}
-	return md.Encode()
+	if len(vm.V) > meta.MaxVersions {
+		vm.V = vm.V[:meta.MaxVersions]
+	}
+	return vm.Encode()
 }

@@ -41,6 +41,9 @@ func (d *Daemon) register() {
 	d.srv.Register(proto.OpReadDir, d.handleReadDir)
 	d.srv.Register(proto.OpStats, d.handleStats)
 	d.srv.Register(proto.OpBatchMeta, d.handleBatchMeta)
+	d.srv.Register(proto.OpSnapshot, d.handleSnapshot)
+	d.srv.Register(proto.OpSnapshotList, d.handleSnapshotList)
+	d.srv.Register(proto.OpSnapshotDrop, d.handleSnapshotDrop)
 }
 
 // handlePing reports the daemon's ID, its protocol version and — when
@@ -71,19 +74,50 @@ func (d *Daemon) handleCreate(req []byte, _ rpc.Bulk) ([]byte, error) {
 	}
 	d.creates.Add(1)
 	md := meta.Metadata{Mode: mode, CTimeNS: ctime, MTimeNS: ctime}
-	ok, err := d.db.PutIfAbsent([]byte(path), md.Encode())
+	epoch, retained := d.snapEpoch(), d.retainedEpochs()
+	var errno proto.Errno
+	err := d.db.Update([]byte(path), func(cur []byte, ok bool) ([]byte, bool, error) {
+		var vm meta.VersionedMeta
+		if ok {
+			v, err := meta.DecodeVersionedMeta(cur)
+			if err != nil {
+				return nil, false, err
+			}
+			if _, live := v.Live(); live {
+				errno = proto.ErrnoExist
+				return nil, false, proto.ErrExist
+			}
+			vm = v
+		}
+		vm.Stamp(epoch, md)
+		vm.Compact(retained)
+		return vm.Encode(), false, nil
+	})
+	if errno != proto.OK {
+		return errResp(errno), nil
+	}
 	if err != nil {
 		return nil, fmt.Errorf("create %s: %w", path, err)
-	}
-	if !ok {
-		return errResp(proto.ErrnoExist), nil
 	}
 	return okResp(0).Bytes(), nil
 }
 
+// handleStat resolves a record's live state, or — via the trailing v8
+// flags extension [u8 flags][u64 epoch, with StatAtEpoch] — its state at
+// a pinned snapshot epoch. The reply blob is always a resolved 25-byte
+// Metadata record regardless of how the record is stored; with
+// StatWantVersions the full version history follows it.
 func (d *Daemon) handleStat(req []byte, _ rpc.Bulk) ([]byte, error) {
 	dec := rpc.NewDec(req)
 	path := dec.Str()
+	var flags uint8
+	var at uint64
+	if dec.Err() == nil && dec.Remaining() > 0 {
+		flags = dec.U8()
+		if flags&proto.StatAtEpoch != 0 {
+			at = dec.U64()
+		}
+	}
 	if err := dec.Done(); err != nil {
 		return nil, err
 	}
@@ -95,8 +129,26 @@ func (d *Daemon) handleStat(req []byte, _ rpc.Bulk) ([]byte, error) {
 	if err != nil {
 		return nil, fmt.Errorf("stat %s: %w", path, err)
 	}
-	e := okResp(len(v))
-	e.Blob(v)
+	vm, err := meta.DecodeVersionedMeta(v)
+	if err != nil {
+		return nil, fmt.Errorf("stat %s: %w", path, err)
+	}
+	var md meta.Metadata
+	var ok bool
+	if flags&proto.StatAtEpoch != 0 {
+		d.snapReads.Add(1)
+		md, ok = vm.At(at)
+	} else {
+		md, ok = vm.Live()
+	}
+	if !ok {
+		return errResp(proto.ErrnoNotExist), nil
+	}
+	e := okResp(32 + 35*len(vm.V))
+	e.Blob(md.Encode())
+	if flags&proto.StatWantVersions != 0 {
+		proto.EncodeVersions(e, vm.V)
+	}
 	return e.Bytes(), nil
 }
 
@@ -114,6 +166,7 @@ func (d *Daemon) handleRemoveMeta(req []byte, _ rpc.Bulk) ([]byte, error) {
 		return nil, err
 	}
 	d.removes.Add(1)
+	epoch, retained := d.snapEpoch(), d.retainedEpochs()
 	var removed meta.Metadata
 	var errno proto.Errno
 	err := d.db.Update([]byte(path), func(cur []byte, ok bool) ([]byte, bool, error) {
@@ -121,16 +174,28 @@ func (d *Daemon) handleRemoveMeta(req []byte, _ rpc.Bulk) ([]byte, error) {
 			errno = proto.ErrnoNotExist
 			return nil, false, kvstore.ErrNotFound
 		}
-		m, err := meta.DecodeMetadata(cur)
+		vm, err := meta.DecodeVersionedMeta(cur)
 		if err != nil {
 			return nil, false, err
+		}
+		m, live := vm.Live()
+		if !live {
+			errno = proto.ErrnoNotExist
+			return nil, false, kvstore.ErrNotFound
 		}
 		if flags&proto.RemoveFileOnly != 0 && m.IsDir() {
 			errno = proto.ErrnoIsDir
 			return nil, false, proto.ErrIsDir
 		}
 		removed = m
-		return nil, true, nil // delete
+		vm.StampTombstone(epoch)
+		vm.Compact(retained)
+		if len(vm.V) == 1 {
+			// No retained snapshot sees the old state: drop the key
+			// outright instead of storing a lone tombstone.
+			return nil, true, nil
+		}
+		return vm.Encode(), false, nil
 	})
 	if errno != proto.OK {
 		return errResp(errno), nil
@@ -155,18 +220,20 @@ func (d *Daemon) handleUpdateSize(req []byte, _ rpc.Bulk) ([]byte, error) {
 		return nil, err
 	}
 	d.sizeUpdates.Add(1)
+	epoch, retained := d.snapEpoch(), d.retainedEpochs()
 	if !truncate {
 		// A size grow against a directory record is refused rather than
 		// silently folded in. The check is an unlocked read — a racing
 		// mkdir could still slip a dir in before the merge lands — so
 		// sizeMerger independently refuses to grow directory records.
-		if cur, err := d.db.Get([]byte(path)); err == nil {
-			if m, merr := meta.DecodeMetadata(cur); merr == nil && m.IsDir() {
-				return errResp(proto.ErrnoIsDir), nil
-			}
+		if m, live := d.liveMeta(path); live && m.IsDir() {
+			return errResp(proto.ErrnoIsDir), nil
 		}
-		op := rpc.NewEnc(16)
-		op.I64(size).I64(mtime)
+		// The epoch is stamped server-side at arrival: clients never
+		// carry epochs on mutations, and the merger (which must stay
+		// deterministic for WAL replay) reads it from the operand.
+		op := rpc.NewEnc(24)
+		op.I64(size).I64(mtime).U64(epoch)
 		if err := d.db.Merge([]byte(path), op.Bytes()); err != nil {
 			return nil, fmt.Errorf("grow %s: %w", path, err)
 		}
@@ -178,9 +245,14 @@ func (d *Daemon) handleUpdateSize(req []byte, _ rpc.Bulk) ([]byte, error) {
 			errno = proto.ErrnoNotExist
 			return nil, false, kvstore.ErrNotFound
 		}
-		m, err := meta.DecodeMetadata(cur)
+		vm, err := meta.DecodeVersionedMeta(cur)
 		if err != nil {
 			return nil, false, err
+		}
+		m, live := vm.Live()
+		if !live {
+			errno = proto.ErrnoNotExist
+			return nil, false, kvstore.ErrNotFound
 		}
 		if m.IsDir() {
 			errno = proto.ErrnoIsDir
@@ -188,7 +260,9 @@ func (d *Daemon) handleUpdateSize(req []byte, _ rpc.Bulk) ([]byte, error) {
 		}
 		m.Size = size
 		m.MTimeNS = mtime
-		return m.Encode(), false, nil
+		vm.Stamp(epoch, m)
+		vm.Compact(retained)
+		return vm.Encode(), false, nil
 	})
 	if errno != proto.OK {
 		return errResp(errno), nil
@@ -197,6 +271,21 @@ func (d *Daemon) handleUpdateSize(req []byte, _ rpc.Bulk) ([]byte, error) {
 		return nil, fmt.Errorf("truncate %s: %w", path, err)
 	}
 	return okResp(0).Bytes(), nil
+}
+
+// liveMeta reads a path's current resolved metadata. ok is false when
+// the record is absent, tombstoned or unreadable — callers using this
+// for advisory checks treat all three the same.
+func (d *Daemon) liveMeta(path string) (meta.Metadata, bool) {
+	cur, err := d.db.Get([]byte(path))
+	if err != nil {
+		return meta.Metadata{}, false
+	}
+	vm, err := meta.DecodeVersionedMeta(cur)
+	if err != nil {
+		return meta.Metadata{}, false
+	}
+	return vm.Live()
 }
 
 // maxSpanBytes bounds one chunk RPC's total span bytes (mirrors the TCP
@@ -291,8 +380,9 @@ func (d *Daemon) handleWriteChunks(req []byte, bulk rpc.Bulk) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	epoch, retained := d.snapEpoch(), d.retainedEpochs()
 	err = forEachSpan(spans, func(_ int, s proto.ChunkSpan, off int64) error {
-		return d.chunks.WriteChunk(path, s.ID, s.Off, data[off:off+s.Len])
+		return d.chunks.WriteChunkEpoch(path, s.ID, s.Off, data[off:off+s.Len], epoch, retained)
 	})
 	if err != nil {
 		return nil, err
@@ -319,12 +409,17 @@ func (d *Daemon) handleReadChunks(req []byte, bulk rpc.Bulk) ([]byte, error) {
 	path := dec.Str()
 	spans := proto.DecodeSpans(dec)
 	var flags uint8
+	var at uint64
 	if dec.Err() == nil && dec.Remaining() > 0 {
 		flags = dec.U8()
+		if flags&proto.ReadAtEpoch != 0 {
+			at = dec.U64()
+		}
 	}
 	if err := dec.Done(); err != nil {
 		return nil, err
 	}
+	atEpoch := flags&proto.ReadAtEpoch != 0
 	total, err := spanTotal(path, spans)
 	if err != nil {
 		return nil, err
@@ -336,18 +431,27 @@ func (d *Daemon) handleReadChunks(req []byte, bulk rpc.Bulk) ([]byte, error) {
 	var sizeView int64
 	if flags&proto.ReadWantSize != 0 {
 		if cur, err := d.db.Get([]byte(path)); err == nil {
-			m, merr := meta.DecodeMetadata(cur)
+			vm, merr := meta.DecodeVersionedMeta(cur)
 			if merr != nil {
 				// A present-but-corrupt record must surface as an error,
 				// not as ReadSizeNone — the client would mistake the file
 				// for removed and the application could overwrite it.
 				return nil, fmt.Errorf("read %s: corrupt metadata record: %w", path, merr)
 			}
-			if m.IsDir() {
+			var m meta.Metadata
+			var live bool
+			if atEpoch {
+				m, live = vm.At(at)
+			} else {
+				m, live = vm.Live()
+			}
+			if live && m.IsDir() {
 				return errResp(proto.ErrnoIsDir), nil
 			}
-			sizeState = proto.ReadSizeFile
-			sizeView = m.Size
+			if live {
+				sizeState = proto.ReadSizeFile
+				sizeView = m.Size
+			}
 		} else if !errors.Is(err, kvstore.ErrNotFound) {
 			return nil, fmt.Errorf("read %s: size view: %w", path, err)
 		}
@@ -362,7 +466,13 @@ func (d *Daemon) handleReadChunks(req []byte, bulk rpc.Bulk) ([]byte, error) {
 		}
 		err = forEachSpan(spans, func(i int, s proto.ChunkSpan, off int64) error {
 			dst := data[off : off+s.Len]
-			n, err := d.chunks.ReadChunk(path, s.ID, s.Off, dst)
+			var n int
+			var err error
+			if atEpoch {
+				n, err = d.chunks.ReadChunkAt(path, s.ID, s.Off, dst, at)
+			} else {
+				n, err = d.chunks.ReadChunk(path, s.ID, s.Off, dst)
+			}
 			if err != nil {
 				return err
 			}
@@ -395,6 +505,9 @@ func (d *Daemon) handleReadChunks(req []byte, bulk rpc.Bulk) ([]byte, error) {
 	d.readOps.Add(1)
 	d.readBytes.Add(uint64(total))
 	d.readSpans.Add(uint64(len(spans)))
+	if atEpoch {
+		d.snapReads.Add(1)
+	}
 	e := okResp(4 + 8*len(counts) + 9)
 	e.U32(uint32(len(counts)))
 	for _, c := range counts {
@@ -420,7 +533,7 @@ func (d *Daemon) handleRemoveChunks(req []byte, _ rpc.Bulk) ([]byte, error) {
 	if err := dec.Done(); err != nil {
 		return nil, err
 	}
-	if err := d.chunks.RemoveChunks(path); err != nil {
+	if err := d.chunks.RemoveChunksEpoch(path, d.snapEpoch(), d.retainedEpochs()); err != nil {
 		return nil, err
 	}
 	return okResp(0).Bytes(), nil
@@ -439,12 +552,10 @@ func (d *Daemon) handleTruncateChunks(req []byte, _ rpc.Bulk) ([]byte, error) {
 	// Directories carry no chunks; truncating one is a caller error. The
 	// record lives only on the path's metadata owner, so the check bites
 	// there and is a no-op on the other daemons of the fan-out.
-	if cur, err := d.db.Get([]byte(path)); err == nil {
-		if m, merr := meta.DecodeMetadata(cur); merr == nil && m.IsDir() {
-			return errResp(proto.ErrnoIsDir), nil
-		}
+	if m, live := d.liveMeta(path); live && m.IsDir() {
+		return errResp(proto.ErrnoIsDir), nil
 	}
-	if err := d.chunks.TruncateChunks(path, d.cfg.ChunkSize, newSize); err != nil {
+	if err := d.chunks.TruncateChunksEpoch(path, d.cfg.ChunkSize, newSize, d.snapEpoch(), d.retainedEpochs()); err != nil {
 		return nil, err
 	}
 	return okResp(0).Bytes(), nil
@@ -464,9 +575,21 @@ func (d *Daemon) handleReadDir(req []byte, _ rpc.Bulk) ([]byte, error) {
 	dir := dec.Str()
 	after := dec.Str()
 	limit := dec.U32()
+	// Trailing v8 extension: [u8 flags][u64 epoch, with bit 0]. With an
+	// epoch the scan resolves each record at that snapshot instead of
+	// its live state.
+	var flags uint8
+	var at uint64
+	if dec.Err() == nil && dec.Remaining() > 0 {
+		flags = dec.U8()
+		if flags&proto.StatAtEpoch != 0 {
+			at = dec.U64()
+		}
+	}
 	if err := dec.Done(); err != nil {
 		return nil, err
 	}
+	atEpoch := flags&proto.StatAtEpoch != 0
 	if limit == 0 {
 		limit = proto.DefaultReadDirPage
 	}
@@ -474,6 +597,9 @@ func (d *Daemon) handleReadDir(req []byte, _ rpc.Bulk) ([]byte, error) {
 		limit = proto.MaxReadDirPage
 	}
 	d.readDirs.Add(1)
+	if atEpoch {
+		d.snapReads.Add(1)
+	}
 	prefix := dir
 	if prefix != meta.Root {
 		prefix += "/"
@@ -511,9 +637,19 @@ func (d *Daemon) handleReadDir(req []byte, _ rpc.Bulk) ([]byte, error) {
 			next = ents[len(ents)-1].name
 			break
 		}
-		m, err := meta.DecodeMetadata(it.Value())
+		vm, err := meta.DecodeVersionedMeta(it.Value())
 		if err != nil {
 			return nil, fmt.Errorf("readdir %s: corrupt record at %s: %w", dir, p, err)
+		}
+		var m meta.Metadata
+		var ok bool
+		if atEpoch {
+			m, ok = vm.At(at)
+		} else {
+			m, ok = vm.Live()
+		}
+		if !ok {
+			continue // tombstoned (or unborn at the requested epoch)
 		}
 		ents = append(ents, ent{name: meta.Base(p), isDir: m.IsDir(), size: m.Size})
 	}

@@ -11,7 +11,7 @@ import (
 
 // opHistNames maps an RPC op to its latency-histogram metric name.
 // Indexed by proto op value (1-based); index 0 is unused.
-var opHistNames = [proto.OpBatchMeta + 1]string{
+var opHistNames = [proto.OpSnapshotDrop + 1]string{
 	proto.OpPing:           telemetry.DaemonOpPingNS,
 	proto.OpCreate:         telemetry.DaemonOpCreateNS,
 	proto.OpStat:           telemetry.DaemonOpStatNS,
@@ -24,6 +24,9 @@ var opHistNames = [proto.OpBatchMeta + 1]string{
 	proto.OpReadDir:        telemetry.DaemonOpReadDirNS,
 	proto.OpStats:          telemetry.DaemonOpStatsNS,
 	proto.OpBatchMeta:      telemetry.DaemonOpBatchMetaNS,
+	proto.OpSnapshot:       telemetry.DaemonOpSnapshotNS,
+	proto.OpSnapshotList:   telemetry.DaemonOpSnapshotListNS,
+	proto.OpSnapshotDrop:   telemetry.DaemonOpSnapshotDropNS,
 }
 
 // initTelemetry builds the daemon's always-on metrics registry and

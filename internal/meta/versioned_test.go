@@ -1,0 +1,226 @@
+package meta
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+func mdAt(size int64) Metadata {
+	return Metadata{Mode: ModeRegular, Size: size, CTimeNS: 100, MTimeNS: 200}
+}
+
+func TestVersionedLegacyRoundTrip(t *testing.T) {
+	md := mdAt(42)
+	vm := VersionedMeta{V: []Version{{Meta: md}}}
+	enc := vm.Encode()
+	if len(enc) != metadataWireSize {
+		t.Fatalf("single live epoch-0 version encoded to %d bytes, want legacy %d", len(enc), metadataWireSize)
+	}
+	got, err := DecodeVersionedMeta(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, vm) {
+		t.Fatalf("round trip changed record: %+v != %+v", got, vm)
+	}
+	live, ok := got.Live()
+	if !ok || live != md {
+		t.Fatalf("Live() = %+v, %v", live, ok)
+	}
+}
+
+func TestVersionedHistoryRoundTrip(t *testing.T) {
+	vm := VersionedMeta{V: []Version{
+		{Epoch: 7, Meta: mdAt(300)},
+		{Epoch: 4, Tombstone: true},
+		{Epoch: 1, Meta: mdAt(100)},
+	}}
+	enc := vm.Encode()
+	if enc[0] != versionedMagic {
+		t.Fatalf("multi-version record lacks magic: %x", enc[0])
+	}
+	got, err := DecodeVersionedMeta(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, vm) {
+		t.Fatalf("round trip changed record: %+v != %+v", got, vm)
+	}
+}
+
+func TestVersionedAt(t *testing.T) {
+	vm := VersionedMeta{V: []Version{
+		{Epoch: 7, Meta: mdAt(300)},
+		{Epoch: 4, Tombstone: true},
+		{Epoch: 1, Meta: mdAt(100)},
+	}}
+	if _, ok := vm.At(0); ok {
+		t.Fatal("epoch 0 predates the key, At must report absent")
+	}
+	for _, s := range []uint64{1, 2, 3} {
+		md, ok := vm.At(s)
+		if !ok || md.Size != 100 {
+			t.Fatalf("At(%d) = %+v, %v; want size 100", s, md, ok)
+		}
+	}
+	for _, s := range []uint64{4, 5, 6} {
+		if _, ok := vm.At(s); ok {
+			t.Fatalf("At(%d) saw through a tombstone", s)
+		}
+	}
+	for _, s := range []uint64{7, 8, 99} {
+		md, ok := vm.At(s)
+		if !ok || md.Size != 300 {
+			t.Fatalf("At(%d) = %+v, %v; want size 300", s, md, ok)
+		}
+	}
+}
+
+func TestVersionedStamp(t *testing.T) {
+	vm := VersionedMeta{V: []Version{{Epoch: 0, Meta: mdAt(10)}}}
+	vm.Stamp(0, mdAt(20)) // same epoch folds in place
+	if len(vm.V) != 1 || vm.V[0].Meta.Size != 20 {
+		t.Fatalf("same-epoch stamp pushed a version: %+v", vm.V)
+	}
+	vm.Stamp(3, mdAt(30)) // later epoch pushes
+	if len(vm.V) != 2 || vm.V[0].Epoch != 3 || vm.V[1].Meta.Size != 20 {
+		t.Fatalf("later-epoch stamp: %+v", vm.V)
+	}
+	vm.Stamp(2, mdAt(40)) // write racing a commit folds into the newest
+	if len(vm.V) != 2 || vm.V[0].Meta.Size != 40 || vm.V[0].Epoch != 3 {
+		t.Fatalf("racing stamp: %+v", vm.V)
+	}
+	vm.StampTombstone(5)
+	if len(vm.V) != 3 || !vm.V[0].Tombstone || vm.V[0].Epoch != 5 {
+		t.Fatalf("tombstone stamp: %+v", vm.V)
+	}
+	if _, ok := vm.Live(); ok {
+		t.Fatal("tombstoned record still live")
+	}
+}
+
+func TestVersionedCompact(t *testing.T) {
+	vm := VersionedMeta{V: []Version{
+		{Epoch: 9, Meta: mdAt(900)},
+		{Epoch: 6, Meta: mdAt(600)},
+		{Epoch: 4, Meta: mdAt(400)},
+		{Epoch: 2, Meta: mdAt(200)},
+	}}
+	// Retain {6, 2}: epoch 6 sees the epoch-6 version, epoch 2 the
+	// epoch-2 one; the newest always survives; epoch 4 is unreachable.
+	vm.Compact([]uint64{6, 2})
+	want := []uint64{9, 6, 2}
+	if len(vm.V) != len(want) {
+		t.Fatalf("compact kept %d versions: %+v", len(vm.V), vm.V)
+	}
+	for i, e := range want {
+		if vm.V[i].Epoch != e {
+			t.Fatalf("compact kept epochs %+v, want %v", vm.V, want)
+		}
+	}
+	// No retained epochs: only the newest survives.
+	vm.Compact(nil)
+	if len(vm.V) != 1 || vm.V[0].Epoch != 9 {
+		t.Fatalf("compact(nil) kept %+v", vm.V)
+	}
+}
+
+func TestVersionedCompactCap(t *testing.T) {
+	var vm VersionedMeta
+	var retained []uint64
+	for e := uint64(1); e <= MaxVersions+4; e++ {
+		vm.Stamp(e, mdAt(int64(e)))
+		retained = append(retained, e)
+		vm.Compact(retained)
+	}
+	if len(vm.V) != MaxVersions {
+		t.Fatalf("retention window holds %d versions, want cap %d", len(vm.V), MaxVersions)
+	}
+	if vm.V[0].Epoch != MaxVersions+4 {
+		t.Fatalf("cap dropped the newest version: %+v", vm.V)
+	}
+}
+
+func TestVersionedDecodeRejects(t *testing.T) {
+	live := VersionedMeta{V: []Version{{Epoch: 3, Meta: mdAt(1)}, {Epoch: 1, Meta: mdAt(2)}}}
+	valid := live.Encode()
+	cases := map[string][]byte{
+		"empty":                  {},
+		"magic only":             {versionedMagic},
+		"truncated header":       valid[:5],
+		"truncated payload":      valid[:len(valid)-3],
+		"legacy with magic mode": append([]byte{versionedMagic}, bytes.Repeat([]byte{0}, metadataWireSize-1)...),
+	}
+	nonDecreasing := VersionedMeta{V: []Version{{Epoch: 1, Meta: mdAt(1)}, {Epoch: 3, Meta: mdAt(2)}}}
+	// Encode doesn't validate ordering; build the hostile frame by hand.
+	bad := []byte{versionedMagic}
+	for i := range nonDecreasing.V {
+		var hdr [versionHdrSize]byte
+		hdr[0] = byte(nonDecreasing.V[i].Epoch)
+		bad = append(bad, hdr[:]...)
+		bad = append(bad, nonDecreasing.V[i].Meta.Encode()...)
+	}
+	cases["non-decreasing epochs"] = bad
+	for name, frame := range cases {
+		if _, err := DecodeVersionedMeta(frame); err == nil {
+			t.Errorf("%s: decode accepted a malformed record", name)
+		}
+	}
+}
+
+// FuzzDecodeVersionedMeta throws hostile frames at the versioned record
+// decoder. Properties: no panic, no allocation beyond what the frame
+// can justify, errors poison the whole record, and every accepted frame
+// re-encodes to an identical decode (canonicalization).
+func FuzzDecodeVersionedMeta(f *testing.F) {
+	legacy := mdAt(42)
+	f.Add(legacy.Encode())
+	multi := VersionedMeta{V: []Version{
+		{Epoch: 7, Meta: mdAt(300)},
+		{Epoch: 4, Tombstone: true},
+		{Epoch: 1, Meta: mdAt(100)},
+	}}
+	valid := multi.Encode()
+	f.Add(append([]byte(nil), valid...))
+	f.Add(append([]byte(nil), valid[:len(valid)-4]...))
+	f.Add([]byte{versionedMagic})
+	f.Add([]byte{})
+	hostile := []byte{versionedMagic}
+	for i := 0; i < MaxVersions+2; i++ { // too many versions
+		var hdr [versionHdrSize]byte
+		hdr[0] = byte(MaxVersions + 2 - i)
+		hdr[8] = versionTombstone
+		hostile = append(hostile, hdr[:]...)
+	}
+	f.Add(hostile)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		vm, err := DecodeVersionedMeta(data)
+		if err != nil {
+			if vm.V != nil {
+				t.Fatal("poisoned decode still returned versions")
+			}
+			return
+		}
+		if len(vm.V) == 0 || len(vm.V) > MaxVersions {
+			t.Fatalf("accepted record holds %d versions", len(vm.V))
+		}
+		if len(vm.V)*versionHdrSize > len(data) {
+			t.Fatalf("decoded %d versions from a %d-byte frame", len(vm.V), len(data))
+		}
+		for i := 1; i < len(vm.V); i++ {
+			if vm.V[i].Epoch >= vm.V[i-1].Epoch {
+				t.Fatalf("non-decreasing epochs survived decode: %+v", vm.V)
+			}
+		}
+		re := vm.Encode()
+		got, err := DecodeVersionedMeta(re)
+		if err != nil {
+			t.Fatalf("re-encode does not decode: %v", err)
+		}
+		if !reflect.DeepEqual(got, vm) {
+			t.Fatalf("record changed across re-encode: %+v != %+v", got, vm)
+		}
+	})
+}

@@ -33,8 +33,13 @@ import (
 // OpStats reply carries a StatsExt block (per-op latency histogram
 // snapshots) after the counters. Both are trailing-optional in the
 // PR 3 ReadWantSize style: frames and replies without them keep the
-// exact old shape, so old-shape requests are still served.
-const ProtocolVersion uint16 = 7
+// exact old shape, so old-shape requests are still served. Version 8
+// introduced namespace snapshots: the OpSnapshot/OpSnapshotList/
+// OpSnapshotDrop trio that pins a cluster-wide epoch, trailing-optional
+// epoch extensions on OpStat/OpReadDir/OpReadChunks requests (reads at
+// a pinned epoch), the OpStat versions extension (StatWantVersions),
+// and the five snapshot counters appended to the OpStats reply.
+const ProtocolVersion uint16 = 8
 
 // RPC operations. Each corresponds to one registered Mercury RPC in the
 // released GekkoFS.
@@ -72,11 +77,23 @@ const (
 	// errno vector. Mutating sub-ops commit through one KV batch (one WAL
 	// append per RPC instead of one per op).
 	OpBatchMeta
+	// OpSnapshot drives the two-phase epoch pin on one daemon: reserve
+	// proposes an epoch for a tag, commit durably records the
+	// cluster-agreed epoch and advances the daemon's write epoch, abort
+	// discards a reservation. The client fans the phases across every
+	// daemon — daemons never talk to each other.
+	OpSnapshot
+	// OpSnapshotList returns the daemon's committed tags with their
+	// pinned epochs.
+	OpSnapshotList
+	// OpSnapshotDrop deletes a committed or pending tag and garbage
+	// collects the versions and chunk pre-images only that tag retained.
+	OpSnapshotDrop
 )
 
 // opNames gives ops human names for trace events, metric tables and
 // tooling output. Indexed by op value.
-var opNames = [OpBatchMeta + 1]string{
+var opNames = [OpSnapshotDrop + 1]string{
 	OpPing:           "ping",
 	OpCreate:         "create",
 	OpStat:           "stat",
@@ -89,6 +106,9 @@ var opNames = [OpBatchMeta + 1]string{
 	OpReadDir:        "readdir",
 	OpStats:          "stats",
 	OpBatchMeta:      "batch_meta",
+	OpSnapshot:       "snapshot",
+	OpSnapshotList:   "snapshot_list",
+	OpSnapshotDrop:   "snapshot_drop",
 }
 
 // OpName returns the human name of op, or "op<N>" for values this
@@ -252,6 +272,14 @@ func SpanBytes(spans []ChunkSpan) int64 {
 // exact reply shape they expect.
 const ReadWantSize uint8 = 1 << 0
 
+// ReadAtEpoch is the OpReadChunks request flag bit asking the daemon to
+// serve the spans as of a pinned snapshot epoch: a [u64 epoch] follows
+// the flags byte when set, and the daemon resolves each chunk through
+// its retained pre-images so bytes written after the pin are invisible.
+// The size view piggybacked by ReadWantSize is likewise resolved at the
+// epoch.
+const ReadAtEpoch uint8 = 1 << 1
+
 // OpReadChunks size-view states (the u8 preceding the piggybacked size).
 // A directory record produces no state: the daemon refuses the whole
 // call with ErrnoIsDir instead.
@@ -277,6 +305,40 @@ const WriteReplica uint8 = 1 << 0
 // whether the path is a directory — and fall back to the directory
 // protocol only when the daemon says so.
 const RemoveFileOnly uint8 = 1 << 0
+
+// OpStat request flag bits (a trailing u8 after the path; absent means
+// 0 — the exact pre-version-8 request shape).
+const (
+	// StatAtEpoch: a [u64 epoch] follows the flags byte and the daemon
+	// resolves the record as of that snapshot epoch instead of live.
+	StatAtEpoch uint8 = 1 << 0
+	// StatWantVersions: the reply appends the record's full version
+	// history after the resolved metadata blob — [u32 n] then, newest
+	// first, [u64 epoch][u8 flags][25-byte payload when live]. The
+	// vkv-style Versions accessor rides on this bit.
+	StatWantVersions uint8 = 1 << 1
+)
+
+// OpSnapshot phases (the leading u8 of the request). The pin is
+// two-phase and client-driven: reserve at every metadata owner to learn
+// the cluster-maximum epoch, then commit that epoch everywhere. A
+// daemon that fails reserve aborts the tag on the daemons that already
+// took it.
+const (
+	// SnapReserve proposes tag; the reply carries the epoch this daemon
+	// would pin ([u64 epoch]).
+	SnapReserve uint8 = 1
+	// SnapCommit finalizes tag at the cluster-agreed epoch
+	// ([u64 epoch] follows the tag) and advances the daemon's write
+	// epoch past it; the reply echoes the pinned epoch.
+	SnapCommit uint8 = 2
+	// SnapAbort discards a reservation; committed tags are untouched.
+	SnapAbort uint8 = 3
+)
+
+// MaxSnapshotTag bounds a snapshot tag's length on the wire, keeping
+// tag state keys and reply frames small.
+const MaxSnapshotTag = 255
 
 // ReadDir pagination. Each OpReadDir call returns at most a page of
 // entries plus a continuation token (the last returned name; empty means
@@ -334,6 +396,14 @@ type DaemonStats struct {
 	// primary placement. WriteOps counts primaries and replicas alike, so
 	// WriteOps−ReplicaWrites is the primary write load.
 	ReplicaWrites uint64
+	// SnapshotPins counts committed epoch pins (OpSnapshot commits) and
+	// SnapshotDrops dropped tags. SnapshotReads counts epoch-pinned
+	// reads served (stat/readdir/chunk reads carrying an epoch).
+	// CowCopies and CowBytes count chunk pre-images preserved by
+	// copy-on-write before a post-pin overwrite, and the bytes they
+	// hold — the physical cost of keeping snapshots readable.
+	SnapshotPins, SnapshotDrops, SnapshotReads uint64
+	CowCopies, CowBytes                        uint64
 }
 
 // Add accumulates other's counters into st (per-cluster totals).
@@ -358,6 +428,11 @@ func (st *DaemonStats) Add(other DaemonStats) {
 	st.VectoredWrites += other.VectoredWrites
 	st.ShmCalls += other.ShmCalls
 	st.ReplicaWrites += other.ReplicaWrites
+	st.SnapshotPins += other.SnapshotPins
+	st.SnapshotDrops += other.SnapshotDrops
+	st.SnapshotReads += other.SnapshotReads
+	st.CowCopies += other.CowCopies
+	st.CowBytes += other.CowBytes
 }
 
 // MetaRPCs sums the metadata-plane RPC counters.
@@ -365,11 +440,11 @@ func (st DaemonStats) MetaRPCs() uint64 {
 	return st.Creates + st.StatOps + st.Removes + st.SizeUpdates + st.ReadDirs + st.BatchRPCs
 }
 
-// DaemonStatsWireLen is the encoded size of one DaemonStats (20 u64
+// DaemonStatsWireLen is the encoded size of one DaemonStats (25 u64
 // counters); daemons use it to size the OpStats reply.
-const DaemonStatsWireLen = 20 * 8
+const DaemonStatsWireLen = 25 * 8
 
-// EncodeDaemonStats appends the OpStats reply body (20 u64 counters, in
+// EncodeDaemonStats appends the OpStats reply body (25 u64 counters, in
 // struct order).
 func EncodeDaemonStats(e *rpc.Enc, st DaemonStats) {
 	e.U64(st.Creates).U64(st.StatOps).U64(st.Removes).U64(st.SizeUpdates)
@@ -380,6 +455,8 @@ func EncodeDaemonStats(e *rpc.Enc, st DaemonStats) {
 	e.U64(st.WireBytesIn).U64(st.WireBytesOut)
 	e.U64(st.VectoredWrites).U64(st.ShmCalls)
 	e.U64(st.ReplicaWrites)
+	e.U64(st.SnapshotPins).U64(st.SnapshotDrops).U64(st.SnapshotReads)
+	e.U64(st.CowCopies).U64(st.CowBytes)
 }
 
 // DecodeDaemonStats reads what EncodeDaemonStats wrote.
@@ -405,6 +482,11 @@ func DecodeDaemonStats(d *rpc.Dec) DaemonStats {
 	st.VectoredWrites = d.U64()
 	st.ShmCalls = d.U64()
 	st.ReplicaWrites = d.U64()
+	st.SnapshotPins = d.U64()
+	st.SnapshotDrops = d.U64()
+	st.SnapshotReads = d.U64()
+	st.CowCopies = d.U64()
+	st.CowBytes = d.U64()
 	return st
 }
 
@@ -421,6 +503,8 @@ func (st DaemonStats) Values() []uint64 {
 		st.WireBytesIn, st.WireBytesOut,
 		st.VectoredWrites, st.ShmCalls,
 		st.ReplicaWrites,
+		st.SnapshotPins, st.SnapshotDrops, st.SnapshotReads,
+		st.CowCopies, st.CowBytes,
 	}
 }
 
@@ -433,7 +517,7 @@ type OpHist struct {
 }
 
 // StatsExt is the protocol-v7 extension of the OpStats reply: the
-// daemon's latency histogram snapshots, appended after the 20 fixed
+// daemon's latency histogram snapshots, appended after the fixed
 // counters. It rides the existing stats RPC so percentile tables need
 // no new operation and no side channel.
 type StatsExt struct {

@@ -1,0 +1,118 @@
+package proto
+
+// Snapshot wire encodings shared by daemon and client: the version
+// history that rides the OpStat StatWantVersions extension and the tag
+// list the OpSnapshotList reply carries. Both follow the framebound
+// discipline — counts are checked against the frame before allocating.
+
+import (
+	"repro/internal/meta"
+	"repro/internal/rpc"
+)
+
+// versionWireMin is the smallest encoded version: epoch, flags and an
+// empty payload prefix (a tombstone carries no metadata payload).
+const versionWireMin = 8 + 1 + 1
+
+// EncodeVersions appends a record's version history, newest first:
+// [u32 n] then per version [u64 epoch][u8 flags][blob payload — the
+// 25-byte Metadata record when live, empty for a tombstone].
+func EncodeVersions(e *rpc.Enc, vs []meta.Version) {
+	e.U32(uint32(len(vs)))
+	for i := range vs {
+		e.U64(vs[i].Epoch)
+		if vs[i].Tombstone {
+			e.U8(1).Blob(nil)
+			continue
+		}
+		e.U8(0).Blob(vs[i].Meta.Encode())
+	}
+}
+
+// DecodeVersions reads what EncodeVersions wrote. Counts above
+// meta.MaxVersions or beyond what the frame can hold poison the
+// decoder.
+func DecodeVersions(d *rpc.Dec) []meta.Version {
+	n := d.U32()
+	if d.Err() != nil {
+		return nil
+	}
+	if n > meta.MaxVersions || int(n)*versionWireMin > d.Remaining() {
+		d.Corrupt()
+		return nil
+	}
+	vs := make([]meta.Version, 0, n)
+	for i := uint32(0); i < n; i++ {
+		v := meta.Version{Epoch: d.U64()}
+		flags := d.U8()
+		payload := d.Blob()
+		if d.Err() != nil {
+			return nil
+		}
+		if flags > 1 {
+			d.Corrupt()
+			return nil
+		}
+		v.Tombstone = flags == 1
+		if !v.Tombstone {
+			md, err := meta.DecodeMetadata(payload)
+			if err != nil {
+				d.Corrupt()
+				return nil
+			}
+			v.Meta = md
+		} else if len(payload) != 0 {
+			d.Corrupt()
+			return nil
+		}
+		vs = append(vs, v)
+	}
+	return vs
+}
+
+// SnapshotEntry is one committed tag in an OpSnapshotList reply.
+type SnapshotEntry struct {
+	// Tag is the snapshot's cluster-wide name.
+	Tag string
+	// Epoch is the epoch the tag pinned.
+	Epoch uint64
+}
+
+// minSnapshotEntryBytes is the smallest encoded entry: an empty tag's
+// length prefix plus the epoch.
+const minSnapshotEntryBytes = 1 + 8
+
+// EncodeSnapshotList appends the committed tag list: [u32 n] then per
+// entry [str tag][u64 epoch].
+func EncodeSnapshotList(e *rpc.Enc, ents []SnapshotEntry) {
+	e.U32(uint32(len(ents)))
+	for i := range ents {
+		e.Str(ents[i].Tag).U64(ents[i].Epoch)
+	}
+}
+
+// DecodeSnapshotList reads what EncodeSnapshotList wrote, bounding the
+// allocation by what the frame can actually hold.
+func DecodeSnapshotList(d *rpc.Dec) []SnapshotEntry {
+	n := d.U32()
+	if d.Err() != nil {
+		return nil
+	}
+	if int(n)*minSnapshotEntryBytes > d.Remaining() {
+		d.Corrupt()
+		return nil
+	}
+	ents := make([]SnapshotEntry, 0, n)
+	for i := uint32(0); i < n; i++ {
+		ent := SnapshotEntry{Tag: d.Str(), Epoch: d.U64()}
+		if d.Err() != nil {
+			return nil
+		}
+		if len(ent.Tag) == 0 || len(ent.Tag) > MaxSnapshotTag {
+			d.Corrupt()
+			return nil
+		}
+		ents = append(ents, ent)
+	}
+	return ents
+}

@@ -93,6 +93,12 @@ type Options struct {
 	// the entry, and the host copy verifies against the recorded hash.
 	// Requires Manifest.
 	Incremental bool
+	// Snapshot, when non-empty, names a committed snapshot tag: stage-out
+	// reads the namespace and every byte as pinned at that tag's epoch,
+	// so concurrent writers never tear the staged tree. Incompatible with
+	// Incremental (a snapshot's frozen mtimes defeat the skip check) and
+	// ignored by stage-in.
+	Snapshot string
 }
 
 func (o Options) withDefaults(defaultBuf int) Options {
@@ -158,9 +164,33 @@ type engine struct {
 	c    *client.Client
 	opts Options
 
+	// snap pins every namespace and data read to snapEpoch (stage-out
+	// from a committed snapshot tag); immutable after StageOut resolves
+	// the tag.
+	snap      bool
+	snapEpoch uint64
+
 	mu  sync.Mutex
 	rep Report    // guarded by mu
 	mf  *Manifest // guarded by mu; nil when no manifest is in play
+}
+
+// statFS stats a cluster path, pinned to the snapshot epoch when one is
+// in play.
+func (e *engine) statFS(p string) (client.FileInfo, error) {
+	if e.snap {
+		return e.c.StatAt(p, e.snapEpoch)
+	}
+	return e.c.Stat(p)
+}
+
+// readDirFS lists a cluster directory, pinned to the snapshot epoch
+// when one is in play.
+func (e *engine) readDirFS(p string) ([]client.DirEntry, error) {
+	if e.snap {
+		return e.c.ReadDirAt(p, e.snapEpoch)
+	}
+	return e.c.ReadDir(p)
 }
 
 func (e *engine) fail(op, path string, err error) {
@@ -936,6 +966,8 @@ func StageOut(c *client.Client, fsDir, hostDir string, opts Options) (*Report, e
 	switch {
 	case e.opts.Incremental && e.opts.Manifest == "":
 		return e.report(begin), errors.New("staging: incremental stage-out requires a manifest")
+	case e.opts.Incremental && e.opts.Snapshot != "":
+		return e.report(begin), errors.New("staging: incremental stage-out cannot read from a snapshot")
 	case e.opts.Incremental:
 		mf, err := LoadManifest(e.opts.Manifest)
 		if err != nil {
@@ -945,7 +977,17 @@ func StageOut(c *client.Client, fsDir, hostDir string, opts Options) (*Report, e
 	case e.opts.Manifest != "":
 		e.setManifest(NewManifest())
 	}
-	if info, err := c.Stat(fsRoot); err != nil {
+	if e.opts.Snapshot != "" {
+		// Resolve the tag to its pinned epoch once, up front: a tag that
+		// is unknown or only partially committed fails the whole transfer
+		// structurally rather than staging a torn tree.
+		epoch, err := c.SnapshotEpoch(e.opts.Snapshot)
+		if err != nil {
+			return e.report(begin), fmt.Errorf("staging: snapshot %q: %w", e.opts.Snapshot, err)
+		}
+		e.snap, e.snapEpoch = true, epoch
+	}
+	if info, err := e.statFS(fsRoot); err != nil {
 		return e.report(begin), fmt.Errorf("staging: source %s: %w", fsRoot, err)
 	} else if !info.IsDir() {
 		return e.report(begin), fmt.Errorf("staging: source %s: %w", fsRoot, proto.ErrNotDir)
@@ -962,7 +1004,7 @@ func StageOut(c *client.Client, fsDir, hostDir string, opts Options) (*Report, e
 	var walk func(rel string)
 	walk = func(rel string) {
 		fsPath := fsJoin(fsRoot, rel)
-		ents, err := c.ReadDir(fsPath)
+		ents, err := e.readDirFS(fsPath)
 		if err != nil {
 			e.fail("stage-out readdir", fsPath, err)
 			return
@@ -1025,11 +1067,13 @@ func StageOut(c *client.Client, fsDir, hostDir string, opts Options) (*Report, e
 
 	// Huge files stripe into segments (no manifest in play — hashing
 	// would need one sequential stream); the host file is created empty
-	// here so segments only ever write their own ranges.
+	// here so segments only ever write their own ranges. Snapshot
+	// stage-out keeps one worker per file: its reads are descriptor-free
+	// epoch-pinned spans, not the read-ahead descriptors segments pump.
 	var queue []stageWork
 	withManifest := e.hasManifest()
 	for _, job := range jobs {
-		if !withManifest && job.size > e.opts.SegmentBytes {
+		if !withManifest && !e.snap && job.size > e.opts.SegmentBytes {
 			hostPath := filepath.Join(hostDir, filepath.FromSlash(job.rel))
 			f, err := os.OpenFile(hostPath, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o666)
 			if err != nil {
@@ -1123,14 +1167,24 @@ func (e *engine) copyOut(buf []byte, fsRoot, hostDir string, job outJob) {
 		}
 	}
 	// Stage-out streams each file sequentially; read-ahead pipelines the
-	// chunk fetches so the copy loop is not round-trip bound.
-	fd, err := e.c.OpenReadAhead(fsPath, client.O_RDONLY)
-	if err != nil {
-		e.fail("stage-out open", fsPath, err)
-		e.dropEntry(job.rel)
-		return
+	// chunk fetches so the copy loop is not round-trip bound. Snapshot
+	// mode reads descriptor-free, epoch-pinned spans instead — the
+	// pre-image view has no descriptor to read ahead through.
+	readAt := func(p []byte, off int64) (int, error) {
+		return e.c.ReadSnapshot(fsPath, e.snapEpoch, p, off)
 	}
-	defer e.c.Close(fd)
+	if !e.snap {
+		fd, err := e.c.OpenReadAhead(fsPath, client.O_RDONLY)
+		if err != nil {
+			e.fail("stage-out open", fsPath, err)
+			e.dropEntry(job.rel)
+			return
+		}
+		defer e.c.Close(fd)
+		readAt = func(p []byte, off int64) (int, error) {
+			return e.c.ReadAt(fd, p, off)
+		}
+	}
 	dst, err := os.OpenFile(hostPath, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o666)
 	if err != nil {
 		e.fail("stage-out create", hostPath, err)
@@ -1151,7 +1205,7 @@ func (e *engine) copyOut(buf []byte, fsRoot, hostDir string, job outJob) {
 				want = rem
 			}
 		}
-		n, rerr := e.c.ReadAt(fd, buf[:want], off)
+		n, rerr := readAt(buf[:want], off)
 		if n > 0 {
 			data := buf[:n]
 			if h != nil {
@@ -1199,7 +1253,7 @@ func (e *engine) copyOut(buf []byte, fsRoot, hostDir string, job outJob) {
 	if e.hasManifest() {
 		if job.hasStat {
 			mtime = job.mtimeNS
-		} else if info, err := e.c.Stat(fsPath); err == nil {
+		} else if info, err := e.statFS(fsPath); err == nil {
 			mtime = info.ModTime().UnixNano()
 		} else {
 			e.fail("stage-out stat", fsPath, err)

@@ -26,6 +26,9 @@ const (
 	DaemonOpReadDirNS        = "gkfs_daemon_op_readdir_ns"
 	DaemonOpStatsNS          = "gkfs_daemon_op_stats_ns"
 	DaemonOpBatchMetaNS      = "gkfs_daemon_op_batch_meta_ns"
+	DaemonOpSnapshotNS       = "gkfs_daemon_op_snapshot_ns"
+	DaemonOpSnapshotListNS   = "gkfs_daemon_op_snapshot_list_ns"
+	DaemonOpSnapshotDropNS   = "gkfs_daemon_op_snapshot_drop_ns"
 )
 
 // Client-side metrics. The rpc histograms time the full call round
@@ -75,6 +78,11 @@ var DaemonStatNames = []string{
 	"gkfs_daemon_vectored_writes_total",
 	"gkfs_daemon_shm_calls_total",
 	"gkfs_daemon_replica_writes_total",
+	"gkfs_daemon_snapshot_pins_total",
+	"gkfs_daemon_snapshot_drops_total",
+	"gkfs_daemon_snapshot_reads_total",
+	"gkfs_daemon_snapshot_cow_copies_total",
+	"gkfs_daemon_snapshot_cow_bytes_total",
 }
 
 // Catalog returns every exported metric name, sorted: the registry
@@ -88,6 +96,7 @@ func Catalog() []string {
 		DaemonOpWriteChunksNS, DaemonOpReadChunksNS,
 		DaemonOpRemoveChunksNS, DaemonOpTruncateChunksNS,
 		DaemonOpReadDirNS, DaemonOpStatsNS, DaemonOpBatchMetaNS,
+		DaemonOpSnapshotNS, DaemonOpSnapshotListNS, DaemonOpSnapshotDropNS,
 
 		ClientRPCMetaNS, ClientRPCWriteNS, ClientRPCReadNS,
 		ClientRPCInflight,

@@ -89,8 +89,8 @@ func TestCatalog(t *testing.T) {
 			t.Errorf("catalog not sorted at %q", n)
 		}
 	}
-	if len(DaemonStatNames) != 20 {
-		t.Fatalf("DaemonStatNames has %d entries, want 20 (proto.DaemonStatsWireLen/8)", len(DaemonStatNames))
+	if len(DaemonStatNames) != 25 {
+		t.Fatalf("DaemonStatNames has %d entries, want 25 (proto.DaemonStatsWireLen/8)", len(DaemonStatNames))
 	}
 	for _, n := range DaemonStatNames {
 		if !seen[n] {
